@@ -1,0 +1,84 @@
+"""Figure 13: loop-index codegen modes on the 2D heat torus.
+
+The paper sweeps grid size N for ``-split-pointer`` vs
+``-split-macro-shadow`` and finds the pointer mode ~2-4x faster
+(1.2e8 .. 5.3e9 points/s on their axis).  The repro analogues:
+
+* ``split_pointer``  -> vectorized NumPy slice kernels
+* ``macro_shadow``   -> generated per-point Python (unchecked)
+* ``interp``         -> checked tree-walking (Phase-1 engine, for scale)
+* ``c``              -> generated C via the system compiler (when present)
+
+Expected shape: split_pointer and c orders of magnitude above the
+per-point modes, gap widening with N (vector lengths amortize dispatch).
+"""
+
+import pytest
+
+from benchmarks.bench_util import is_tiny, once, wall
+from repro.analysis.reporting import series_table
+from repro.compiler.pipeline import available_modes
+from tests.conftest import make_heat_problem
+
+_series: dict[str, list] = {}
+_ns: list[int] = []
+
+
+def _cfg():
+    if is_tiny():
+        return (32, 64), 8
+    return (64, 128, 256), 16
+
+
+MODES = [m for m in ("interp", "macro_shadow", "split_pointer", "c")
+         if m in available_modes()]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_fig13_mode_throughput(benchmark, mode):
+    ns, T = _cfg()
+
+    def run():
+        rates = []
+        for n in ns:
+            steps = T if mode != "interp" else max(2, T // 8)
+            # Warm the kernel cache (for mode "c": the gcc invocation) on a
+            # throwaway problem so the measurement is steady-state, like
+            # the paper's (compile once, run many) usage.
+            st_w, _, k_w = make_heat_problem((n, n), boundary="periodic")
+            st_w.run(1, k_w, algorithm="trap", mode=mode)
+            st_, u, k = make_heat_problem((n, n), boundary="periodic")
+            elapsed = wall(
+                lambda: st_.run(steps, k, algorithm="trap", mode=mode)
+            )
+            rates.append(n * n * steps / elapsed)
+        return rates
+
+    rates = once(benchmark, run)
+    global _ns
+    _ns = list(ns)
+    _series[mode] = rates
+    benchmark.extra_info["points_per_s"] = [f"{r:.3g}" for r in rates]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _series:
+        return
+    print(
+        "\n"
+        + series_table(
+            "Figure 13: grid points/second by codegen mode "
+            "(paper: -split-pointer above -split-macro-shadow, both far "
+            "above naive)",
+            "N",
+            _ns,
+            {m: [f"{r:.3g}" for r in rs] for m, rs in _series.items()},
+        )
+    )
+    if "split_pointer" in _series and "macro_shadow" in _series:
+        sp = _series["split_pointer"][-1]
+        ms = _series["macro_shadow"][-1]
+        print(f"split_pointer / macro_shadow at N={_ns[-1]}: {sp / ms:.1f}x")
+        assert sp > ms, "vectorized mode must beat per-point mode"

@@ -1,0 +1,109 @@
+"""Figure 9: Cilkview parallelism, TRAP (hyperspace cuts) vs STRAP.
+
+Paper, uncoarsened base cases:
+  (a) 2D nonperiodic heat, space-time 1000*N^2, N = 100..6400:
+      hyperspace reaches 1887, serial space cuts ~500.
+  (b) 3D nonperiodic wave, space-time 1000*N^3, N = 100..800:
+      hyperspace 337, space cuts ~100.
+
+The work/span analyzer computes the identical T1/T-inf quantities from
+the identical decomposition DAG (memoized on zoid signatures, so the
+paper's largest sizes run in seconds).  Checked properties: TRAP beats
+STRAP at every size, the gap widens with N, and the growth exponents
+order as Theorems 3 & 5 predict.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.bench_util import is_tiny, once
+from repro.analysis.reporting import series_table
+from repro.analysis.theory import parallelism_growth_exponent
+from repro.runtime.workspan import analyze_walk
+
+_series: dict[str, dict] = {}
+
+
+def _cases():
+    if is_tiny():
+        return {
+            "heat2d": dict(ns=(100, 200, 400), slopes=(1, 1), height=200),
+            "wave3d": dict(ns=(50, 100), slopes=(1, 1, 1), height=100),
+        }
+    return {
+        "heat2d": dict(ns=(100, 400, 1600, 6400), slopes=(1, 1), height=1000),
+        "wave3d": dict(ns=(100, 200, 400, 800), slopes=(1, 1, 1), height=1000),
+    }
+
+
+@pytest.mark.parametrize("case", ["heat2d", "wave3d"])
+def test_fig9_parallelism(benchmark, case):
+    cfg = _cases()[case]
+    ndim = len(cfg["slopes"])
+
+    def run():
+        trap, strap = [], []
+        for n in cfg["ns"]:
+            sizes = (n,) * ndim
+            trap.append(
+                analyze_walk(sizes, cfg["slopes"], cfg["height"]).parallelism
+            )
+            strap.append(
+                analyze_walk(
+                    sizes, cfg["slopes"], cfg["height"], algorithm="strap"
+                ).parallelism
+            )
+        return trap, strap
+
+    trap, strap = once(benchmark, run)
+    _series[case] = {"ns": cfg["ns"], "trap": trap, "strap": strap}
+
+    # Paper's qualitative claims.
+    for p_trap, p_strap in zip(trap, strap):
+        assert p_trap > p_strap
+    gaps = [a / b for a, b in zip(trap, strap)]
+    assert gaps[-1] > gaps[0], "hyperspace advantage must grow with N"
+
+    # Growth-exponent ordering (Theorems 3 & 5).
+    def exponent(series):
+        return math.log(series[-1] / series[0]) / math.log(
+            cfg["ns"][-1] / cfg["ns"][0]
+        )
+
+    e_trap, e_strap = exponent(trap), exponent(strap)
+    assert e_trap > e_strap
+    benchmark.extra_info.update(
+        {
+            "parallelism_trap": [round(p, 1) for p in trap],
+            "parallelism_strap": [round(p, 1) for p in strap],
+            "exponent_trap": round(e_trap, 3),
+            "exponent_strap": round(e_strap, 3),
+            "theory_exponent_trap": round(
+                parallelism_growth_exponent(ndim, "trap"), 3
+            ),
+            "theory_exponent_strap": round(
+                parallelism_growth_exponent(ndim, "strap"), 3
+            ),
+        }
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    for case, s in _series.items():
+        print(
+            "\n"
+            + series_table(
+                f"Figure 9 ({case}): parallelism vs N "
+                f"(paper: hyperspace >> serial space cuts)",
+                "N",
+                s["ns"],
+                {
+                    "TRAP (hyperspace)": s["trap"],
+                    "STRAP (space cuts)": s["strap"],
+                    "ratio": [a / b for a, b in zip(s["trap"], s["strap"])],
+                },
+            )
+        )

@@ -1,0 +1,62 @@
+"""Intro comparison (Section 1): TRAP vs LOOPS on the 2D heat equation.
+
+Paper: 5000^2 grid x 5000 steps — LOOPS 248 s, Pochoir/TRAP ~24 s (>10x).
+Here: laptop scale, same shape expected — TRAP faster than the loop
+sweep once the grid exceeds cache, identical results bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_util import is_tiny, once, wall
+from tests.conftest import make_heat_problem
+
+
+def _sizes():
+    return ((96, 96), 32) if is_tiny() else ((1536, 1536), 96)
+
+
+@pytest.fixture(scope="module")
+def reference_result():
+    (sizes, T) = _sizes()
+    st_, u, k = make_heat_problem(sizes, boundary="periodic")
+    st_.run(T, k, algorithm="serial_loops")
+    return u.snapshot(st_.cursor)
+
+
+def test_intro_trap(benchmark, reference_result):
+    sizes, T = _sizes()
+    st_, u, k = make_heat_problem(sizes, boundary="periodic")
+    once(benchmark, lambda: st_.run(T, k, algorithm="trap"))
+    assert np.array_equal(u.snapshot(st_.cursor), reference_result)
+    benchmark.extra_info["algorithm"] = "trap"
+    benchmark.extra_info["grid"] = f"{sizes[0]}x{sizes[1]}x{T}"
+
+
+def test_intro_serial_loops(benchmark, reference_result):
+    sizes, T = _sizes()
+    st_, u, k = make_heat_problem(sizes, boundary="periodic")
+    once(benchmark, lambda: st_.run(T, k, algorithm="serial_loops"))
+    assert np.array_equal(u.snapshot(st_.cursor), reference_result)
+    benchmark.extra_info["algorithm"] = "serial_loops"
+
+
+def test_intro_ratio_report(benchmark):
+    """Measure both in one target and report the headline ratio."""
+    sizes, T = _sizes()
+
+    def run_both():
+        st1, u1, k1 = make_heat_problem(sizes, boundary="periodic")
+        t_trap = wall(lambda: st1.run(T, k1, algorithm="trap"))
+        st2, u2, k2 = make_heat_problem(sizes, boundary="periodic")
+        t_loops = wall(lambda: st2.run(T, k2, algorithm="serial_loops"))
+        return t_trap, t_loops
+
+    t_trap, t_loops = once(benchmark, run_both)
+    ratio = t_loops / t_trap
+    benchmark.extra_info["loops_over_trap"] = round(ratio, 2)
+    print(
+        f"\n[intro] 2D heat {sizes[0]}^2 x {T}: "
+        f"TRAP {t_trap:.3f}s vs LOOPS {t_loops:.3f}s -> {ratio:.2f}x "
+        f"(paper at 5000^2x5000: >10x)"
+    )

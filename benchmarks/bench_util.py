@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale (see DESIGN.md's experiment index).  Scale is selected with the
+``REPRO_BENCH_SCALE`` environment variable (``small`` default, ``tiny``
+for smoke runs); results print as paper-style tables so ``pytest
+benchmarks/ --benchmark-only -s`` reproduces the evaluation narrative.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.util.timing import measure
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def is_tiny() -> bool:
+    return bench_scale() == "tiny"
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Stencil runs mutate state and can take seconds; one round with no
+    warmup is the honest measurement mode (matching how the paper times
+    whole runs, not microkernels).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def wall(fn: Callable[[], object]) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+__all__ = ["bench_scale", "is_tiny", "measure", "once", "wall"]

@@ -1,0 +1,66 @@
+"""Conway's Game of Life: gliders on a torus, via the stencil DSL.
+
+A glider translates by (1, 1) every 4 generations; we place one on a
+periodic grid, run 4*K generations with the TRAP decomposition, and check
+it arrives exactly where theory says — a crisp end-to-end correctness
+demonstration for a branchy (non-arithmetic) kernel.
+
+    python examples/life_glider.py
+"""
+
+import numpy as np
+
+from repro.apps.life import build_life, life_kernel, life_shape
+from repro.language.array import PochoirArray
+from repro.language.boundary import PeriodicBoundary
+from repro.language.stencil import Stencil
+
+#: The standard glider (moves +1 row, +1 column per 4 generations).
+GLIDER = np.array(
+    [
+        [0, 1, 0],
+        [0, 0, 1],
+        [1, 1, 1],
+    ],
+    dtype=np.float64,
+)
+
+
+def main() -> None:
+    n = 48
+    generations = 4 * 20  # 20 glider periods
+
+    grid = np.zeros((n, n))
+    grid[1:4, 1:4] = GLIDER
+
+    u = PochoirArray("u", (n, n)).register_boundary(PeriodicBoundary())
+    life = Stencil(2, life_shape(), name="life")
+    life.register_array(u)
+    u.set_initial(grid)
+
+    report = life.run(generations, life_kernel(u))
+    final = u.snapshot(life.cursor)
+
+    shift = generations // 4
+    expected = np.zeros((n, n))
+    rows = (np.arange(1, 4) + shift) % n
+    cols = (np.arange(1, 4) + shift) % n
+    expected[np.ix_(rows, cols)] = GLIDER
+
+    print(f"{generations} generations on a {n}x{n} torus "
+          f"({report.elapsed:.3f}s, {report.base_cases} base cases)")
+    print(f"population: {int(final.sum())} (glider has 5 cells)")
+    assert np.array_equal(final, expected), "glider did not translate correctly!"
+    print(f"glider translated by ({shift}, {shift}) cells — exactly as theory predicts")
+
+    # Render the neighborhood of the glider's final position.
+    r0 = max(0, int(rows[0]) - 1)
+    c0 = max(0, int(cols[0]) - 1)
+    view = final[r0 : r0 + 6, c0 : c0 + 6]
+    print("\nfinal neighborhood:")
+    for row in view:
+        print("  " + "".join("#" if v else "." for v in row))
+
+
+if __name__ == "__main__":
+    main()

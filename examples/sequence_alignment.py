@@ -1,0 +1,76 @@
+"""Sequence alignment as a stencil: the paper's PSA and LCS benchmarks.
+
+Both run on the anti-diagonal "diamond" embedding (time = wavefront
+i + j), exercising the DSL's conditional expressions, const arrays, and
+multi-array kernels.  Scores are verified against textbook dynamic
+programming.
+
+    python examples/sequence_alignment.py
+"""
+
+import numpy as np
+
+from repro.apps.lcs import build_lcs, lcs_length, reference_lcs
+from repro.apps.psa import alignment_score, build_psa, reference_psa
+
+BASES = "ACGU"
+
+
+def mutate(seq: np.ndarray, rate: float, rng) -> np.ndarray:
+    out = seq.copy()
+    hits = rng.random(len(seq)) < rate
+    out[hits] = rng.integers(0, 4, size=hits.sum())
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 384
+
+    # Related sequences: b is a 15%-mutated copy of a.
+    print(f"aligning related sequences of length {n} (15% mutations)\n")
+
+    lcs_app = build_lcs(n, seed=7)
+    a = lcs_app.meta["a"]
+    report = lcs_app.run(algorithm="trap")
+    got = lcs_length(lcs_app)
+    want = reference_lcs(lcs_app.meta["a"], lcs_app.meta["b"])
+    print(
+        f"LCS  (random pair) : stencil={got}, textbook DP={want} "
+        f"({report.elapsed:.3f}s, {report.base_cases} base cases)"
+    )
+    assert got == want
+
+    psa_app = build_psa(n, seed=7)
+    report = psa_app.run(algorithm="trap")
+    got_s = alignment_score(psa_app)
+    want_s = reference_psa(psa_app.meta["a"], psa_app.meta["b"])
+    print(
+        f"PSA  (random pair) : stencil={got_s:.1f}, textbook Gotoh={want_s:.1f} "
+        f"({report.elapsed:.3f}s)"
+    )
+    assert abs(got_s - want_s) < 1e-9
+
+    # Expected behaviour on related vs unrelated inputs.
+    b_related = mutate(a, 0.15, rng)
+    app_rel = build_psa(n, seed=7)
+    app_rel.meta["b"] = b_related  # same a; replace b before building? no —
+    # build_psa draws internally, so construct directly for the comparison:
+    from repro.apps.psa import build_psa as _bp
+
+    def score_pair(seed_a, seed_b):
+        app = _bp(n, seed=seed_a)
+        return reference_psa(app.meta["a"], mutate(app.meta["a"], seed_b, rng))
+
+    s_related = score_pair(7, 0.15)
+    s_unrelated = reference_psa(a, rng.integers(0, 4, size=n))
+    print(
+        f"\nGotoh score, 15%-mutated copy : {s_related:8.1f}\n"
+        f"Gotoh score, unrelated random : {s_unrelated:8.1f}"
+    )
+    assert s_related > s_unrelated, "related sequences should score higher"
+    print("\nrelated >> unrelated, as expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package installs in environments whose setuptools predates PEP-660
+editable wheels (or that lack the `wheel` package and network access):
+``python setup.py develop`` works everywhere ``pip install -e .`` does.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — a Python reproduction of the Pochoir stencil compiler (SPAA'11).
+
+Quickstart (the periodic 2D heat equation of the paper's Figure 6)::
+
+    import numpy as np
+    from repro import Kernel, PeriodicBoundary, PochoirArray, Shape, Stencil
+
+    X = Y = 256
+    u = PochoirArray("u", (X, Y)).register_boundary(PeriodicBoundary())
+    heat = Stencil(2, Shape.from_cells(
+        [(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)]
+    ))
+    heat.register_array(u)
+
+    CX = CY = 0.125
+    kern = Kernel(2, lambda t, x, y: u(t + 1, x, y) << (
+        u(t, x, y)
+        + CX * (u(t, x + 1, y) - 2 * u(t, x, y) + u(t, x - 1, y))
+        + CY * (u(t, x, y + 1) - 2 * u(t, x, y) + u(t, x, y - 1))
+    ))
+
+    u.set_initial(np.random.default_rng(0).random((X, Y)))
+    heat.run(100, kern)              # TRAP, hyperspace cuts, NumPy kernels
+    result = u.snapshot(100)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.errors import (
+    AutotuneError,
+    BoundaryError,
+    CompileError,
+    ExecutionError,
+    KernelError,
+    PochoirError,
+    ShapeViolationError,
+    SpecificationError,
+)
+from repro.expr import (
+    Param,
+    eq_,
+    fmath,
+    let,
+    local,
+    maximum,
+    minimum,
+    ne_,
+    where,
+)
+from repro.language import (
+    Boundary,
+    ConstArray,
+    ConstantBoundary,
+    DirichletBoundary,
+    Kernel,
+    MixedBoundary,
+    NeumannBoundary,
+    PeriodicBoundary,
+    PochoirArray,
+    PythonBoundary,
+    RunOptions,
+    RunReport,
+    Shape,
+    Stencil,
+    ZeroBoundary,
+    run_phase1,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AutotuneError",
+    "Boundary",
+    "BoundaryError",
+    "CompileError",
+    "ConstArray",
+    "ConstantBoundary",
+    "DirichletBoundary",
+    "ExecutionError",
+    "Kernel",
+    "KernelError",
+    "MixedBoundary",
+    "NeumannBoundary",
+    "Param",
+    "PeriodicBoundary",
+    "PochoirArray",
+    "PochoirError",
+    "PythonBoundary",
+    "RunOptions",
+    "RunReport",
+    "Shape",
+    "ShapeViolationError",
+    "SpecificationError",
+    "Stencil",
+    "ZeroBoundary",
+    "eq_",
+    "fmath",
+    "let",
+    "local",
+    "maximum",
+    "minimum",
+    "ne_",
+    "run_phase1",
+    "where",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Theory formulas (Theorems 3 & 5, cache bounds) and result reporting."""
+
+from repro.analysis.theory import (
+    strap_parallelism_bound,
+    strap_span_bound,
+    trap_parallelism_bound,
+    trap_span_bound,
+)
+from repro.analysis.reporting import fig3_table, series_table
+
+__all__ = [
+    "fig3_table",
+    "series_table",
+    "strap_parallelism_bound",
+    "strap_span_bound",
+    "trap_parallelism_bound",
+    "trap_span_bound",
+]

@@ -1,0 +1,84 @@
+"""Paper-style result tables.
+
+The benchmark harness reports through these helpers so every experiment
+prints rows shaped like the paper's own tables (Figure 3's columns,
+Figure 9/10/13 series) and EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.tables import Table
+
+
+@dataclass
+class Fig3Row:
+    """One benchmark row in the Figure 3 format."""
+
+    benchmark: str
+    dims: str
+    grid: str
+    steps: int
+    pochoir_1core: float
+    pochoir_pcore: float
+    speedup: float
+    serial_loops: float
+    serial_ratio: float
+    parallel_loops: float
+    parallel_ratio: float
+
+
+def fig3_table(rows: Sequence[Fig3Row], *, processors: int) -> str:
+    """Render rows in the layout of the paper's Figure 3."""
+    t = Table(
+        [
+            "Benchmark",
+            "Dims",
+            "Grid",
+            "Steps",
+            "Pochoir 1c (s)",
+            f"{processors}c sim (s)",
+            "speedup",
+            "Serial loops (s)",
+            "ratio",
+            f"{processors}c loops (s)",
+            "ratio",
+        ],
+        title=(
+            f"Figure 3 (laptop scale): Pochoir vs loops; "
+            f"'{processors}c sim' columns use the greedy-scheduler model "
+            f"(see DESIGN.md substitutions)"
+        ),
+    )
+    for r in rows:
+        t.add_row(
+            [
+                r.benchmark,
+                r.dims,
+                r.grid,
+                r.steps,
+                r.pochoir_1core,
+                r.pochoir_pcore,
+                r.speedup,
+                r.serial_loops,
+                r.serial_ratio,
+                r.parallel_loops,
+                r.parallel_ratio,
+            ]
+        )
+    return t.render()
+
+
+def series_table(
+    title: str,
+    x_name: str,
+    xs: Sequence[object],
+    columns: dict[str, Sequence[float]],
+) -> str:
+    """Render an x-versus-several-series table (Figures 9, 10, 13)."""
+    t = Table([x_name, *columns.keys()], title=title)
+    for i, x in enumerate(xs):
+        t.add_row([x, *(col[i] for col in columns.values())])
+    return t.render()

@@ -1,0 +1,48 @@
+"""Closed-form bounds from Section 3 of the paper.
+
+* Lemma 2:    TRAP span on a minimal zoid:   Theta(d * h^lg(d+2))
+* Theorem 3:  TRAP parallelism:              Theta(w^(d - lg(d+2) + 1) / d^2)
+* Lemma 4:    STRAP span on a minimal zoid:  Theta(h^lg(2d+1))
+* Theorem 5:  STRAP parallelism:             Theta(w^(d - lg(2d+1) + 1) / 2d)
+
+All are Theta-bounds; the functions return the bound's *leading term*
+with unit constant, which benchmarks use as overlays (fit a single
+constant, compare growth exponents).  The discussion after Theorem 5 is
+directly checkable: for d = 1 both give Theta(w^(2 - lg 3)); for d = 2
+TRAP gives Theta(w^2) (lg 4 == 2) versus STRAP's Theta(w^(3 - lg 5)).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def trap_span_bound(height: int, ndim: int) -> float:
+    """Lemma 2 leading term: d * h^lg(d+2)."""
+    return ndim * height ** math.log2(ndim + 2)
+
+
+def strap_span_bound(height: int, ndim: int) -> float:
+    """Lemma 4 leading term: h^lg(2d+1)."""
+    return height ** math.log2(2 * ndim + 1)
+
+
+def trap_parallelism_bound(width: int, ndim: int) -> float:
+    """Theorem 3 leading term: w^(d - lg(d+2) + 1) / d^2."""
+    exponent = ndim - math.log2(ndim + 2) + 1
+    return width**exponent / (ndim * ndim)
+
+
+def strap_parallelism_bound(width: int, ndim: int) -> float:
+    """Theorem 5 leading term: w^(d - lg(2d+1) + 1) / (2d)."""
+    exponent = ndim - math.log2(2 * ndim + 1) + 1
+    return width**exponent / (2 * ndim)
+
+
+def parallelism_growth_exponent(ndim: int, algorithm: str) -> float:
+    """The exponent of w in the parallelism bound (for curve fitting)."""
+    if algorithm == "trap":
+        return ndim - math.log2(ndim + 2) + 1
+    if algorithm == "strap":
+        return ndim - math.log2(2 * ndim + 1) + 1
+    raise ValueError(f"unknown algorithm {algorithm!r}")

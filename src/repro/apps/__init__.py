@@ -1,0 +1,33 @@
+"""Benchmark applications: every workload of the paper's evaluation.
+
+Figure 3's ten benchmarks, each expressed in the repro stencil language:
+
+==========  ====  =========================================================
+Benchmark   Dims  Module / notes
+==========  ====  =========================================================
+Heat        1-4D  :mod:`repro.apps.heat` — periodic and nonperiodic
+Life        2Dp   :mod:`repro.apps.life` — Conway's game of life
+Wave        3D    :mod:`repro.apps.wave` — depth-2 finite-difference wave
+LBM         2D    :mod:`repro.apps.lbm` — D2Q9 lattice Boltzmann (9 state
+                  arrays; the paper used a 3D LBM — same "many states,
+                  complex kernel" character at laptop scale)
+RNA         2D    :mod:`repro.apps.rna` — Nussinov-style interval DP with
+                  wavefront time and many branch conditionals (the paper's
+                  RNA kernel is likewise a banded, branch-heavy DP)
+PSA         1D    :mod:`repro.apps.psa` — Gotoh affine-gap alignment on
+                  the anti-diagonal ("diamond") embedding
+LCS         1D    :mod:`repro.apps.lcs` — longest common subsequence on
+                  the same diamond embedding
+APOP        1D    :mod:`repro.apps.apop` — American put option pricing,
+                  explicit FD with an early-exercise max
+7/27-point  3D    :mod:`repro.apps.points3d` — the Figure 5 kernels
+==========  ====  =========================================================
+
+Each module exposes ``build_*`` constructors returning an
+:class:`repro.apps.registry.AppInstance`; :func:`repro.apps.registry.build`
+builds by name at a chosen scale preset.
+"""
+
+from repro.apps.registry import AppInstance, available_apps, build
+
+__all__ = ["AppInstance", "available_apps", "build"]

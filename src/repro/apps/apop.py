@@ -1,0 +1,136 @@
+"""American put option pricing (Figure 3 row "APOP").
+
+Backward induction on a 1-D asset-price lattice: each step discounts the
+expected continuation value and applies the early-exercise test,
+
+    v_{k+1}(x) = max( payoff(x),
+                      e^{-r dt} * (p_d v_k(x-1) + p_m v_k(x) + p_u v_k(x+1)) )
+
+with ``payoff(x) = max(K - S(x), 0)`` precomputed as a const array over
+the price grid.  The kernel is a 3-point stencil plus one branch (the
+max), matching the paper's characterization: a huge 1-D grid (2,000,000
+points, 10,000 steps) where the cache-oblivious traversal shines
+(Figure 3 reports one of the largest ratios, 128.8x over serial loops).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import maximum
+from repro.language.array import ConstArray, PochoirArray
+from repro.language.boundary import NeumannBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def apop_shape() -> Shape:
+    return Shape.from_cells([(1, 0), (0, 0), (0, 1), (0, -1)])
+
+
+def apop_kernel(
+    v: PochoirArray,
+    payoff: ConstArray,
+    *,
+    p_down: float,
+    p_mid: float,
+    p_up: float,
+    discount: float,
+) -> Kernel:
+    def body(t, x):
+        continuation = discount * (
+            p_down * v(t, x - 1) + p_mid * v(t, x) + p_up * v(t, x + 1)
+        )
+        return v(t + 1, x) << maximum(payoff(x), continuation)
+
+    return Kernel(1, body, name="apop")
+
+
+def build_apop(
+    n: int,
+    steps: int,
+    *,
+    strike: float = 100.0,
+    rate: float = 0.05,
+    sigma: float = 0.3,
+    maturity: float = 1.0,
+) -> AppInstance:
+    """Price an American put over a log-spaced grid of ``n`` spot prices.
+
+    Grid spacing follows the standard trinomial-lattice choice
+    ``dx = sigma * sqrt(3 dt)``, which keeps the explicit scheme stable
+    (p_mid = 2/3) for any (n, steps) pairing — the lattice grows with n
+    like the paper's 2,000,000-point binomial-style grid.  Log-prices are
+    clipped to +/-8 around the strike so deep grid nodes saturate instead
+    of overflowing exp.
+    """
+    dt = maturity / steps
+    nu = rate - 0.5 * sigma * sigma
+    dx = sigma * math.sqrt(3.0 * dt)
+    p_up = 1.0 / 6.0 + nu * dt / (2.0 * dx)
+    p_down = 1.0 / 6.0 - nu * dt / (2.0 * dx)
+    p_mid = 2.0 / 3.0
+    discount = math.exp(-rate * dt)
+
+    log_offsets = np.clip((np.arange(n) - n // 2) * dx, -8.0, 8.0)
+    prices = strike * np.exp(log_offsets)
+    pay = np.maximum(strike - prices, 0.0)
+
+    v = PochoirArray("v", (n,)).register_boundary(NeumannBoundary())
+    payoff = ConstArray("payoff", pay)
+    stencil = Stencil(1, apop_shape(), name="apop")
+    stencil.register_array(v)
+    stencil.register_const_array(payoff)
+    kernel = apop_kernel(
+        v, payoff, p_down=p_down, p_mid=p_mid, p_up=p_up, discount=discount
+    )
+    v.set_initial(pay)  # value at maturity is the payoff
+    return AppInstance(
+        name="apop",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="v",
+        meta={
+            "strike": strike,
+            "prices": prices,
+            "weights": (p_down, p_mid, p_up),
+            "discount": discount,
+        },
+    )
+
+
+def reference_apop(app: AppInstance, steps: int) -> np.ndarray:
+    """Direct NumPy backward induction of the same scheme (for tests)."""
+    pay = np.asarray(app.stencil.const_arrays["payoff"].values)
+    p_down, p_mid, p_up = app.meta["weights"]
+    disc = app.meta["discount"]
+    v = pay.copy()
+    for _ in range(steps):
+        down = np.empty_like(v)
+        up = np.empty_like(v)
+        down[1:] = v[:-1]
+        down[0] = v[0]  # Neumann clamp
+        up[:-1] = v[1:]
+        up[-1] = v[-1]
+        v = np.maximum(pay, disc * (p_down * down + p_mid * v + p_up * up))
+    return v
+
+
+@register("apop", "paper")
+def _apop_paper() -> AppInstance:
+    return build_apop(2_000_000, 10_000)
+
+
+@register("apop", "small")
+def _apop_small() -> AppInstance:
+    return build_apop(1_048_576, 256)
+
+
+@register("apop", "tiny")
+def _apop_tiny() -> AppInstance:
+    return build_apop(128, 16)

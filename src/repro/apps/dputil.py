@@ -1,0 +1,29 @@
+"""Shared helpers for the diamond-embedded dynamic-programming apps.
+
+PSA and LCS run on the anti-diagonal ("diamond") embedding the paper
+uses for its 1-D DP benchmarks: time is the wavefront w = i + j, space is
+the diagonal offset x = i - j + N.  These helpers build the recurring
+index predicates of that embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr.builder import eq_, fmath
+from repro.expr.nodes import Compare, Expr, as_expr
+
+
+def is_even(index_expr: object) -> Compare:
+    """Elementwise test that an integer-valued expression is even.
+
+    Works on possibly negative values in every backend: ``fmod`` keeps
+    the sign of its dividend, so we compare ``|fmod(v, 2)|`` to zero.
+    """
+    v = as_expr(index_expr)
+    return eq_(fmath.fabs(v % 2.0), 0.0)
+
+
+def doubled(seq: np.ndarray) -> np.ndarray:
+    """A2 with A2[2k] = A2[2k+1] = seq[k], for half-integer index tricks."""
+    return np.repeat(np.asarray(seq, dtype=np.float64), 2)

@@ -1,0 +1,147 @@
+"""Heat-equation benchmarks: the Jacobi stencil of the paper's Section 1.
+
+Covers the Figure 3 rows "Heat 2" (nonperiodic 2D), "Heat 2p" (periodic
+2D torus) and "Heat 4" (4D), plus 1D and 3D variants used across the
+test suite.  The update is the paper's equation:
+
+    u_{t+1}(x, y) = u_t + CX*(u_t(x±1, y) - 2 u_t) + CY*(u_t(x, y±1) - 2 u_t)
+
+generalized to d dimensions with per-dimension diffusion coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import sum_of
+from repro.language.array import PochoirArray
+from repro.language.boundary import ConstantBoundary, PeriodicBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def heat_shape(ndim: int) -> Shape:
+    """The (2d+2)-cell heat shape: home, center, and ±1 per dimension."""
+    home = (1,) + (0,) * ndim
+    cells = [home, (0,) * (ndim + 1)]
+    for i in range(ndim):
+        for sign in (+1, -1):
+            cell = [0] * (ndim + 1)
+            cell[1 + i] = sign
+            cells.append(tuple(cell))
+    return Shape.from_cells(cells)
+
+
+def heat_kernel(u: PochoirArray, coeffs: tuple[float, ...]) -> Kernel:
+    """d-dimensional Jacobi heat kernel over array ``u``."""
+    ndim = u.ndim
+
+    def body(t, *axes):
+        center = u(t, *axes)
+        terms = [center]
+        for i, c in enumerate(coeffs):
+            plus = list(axes)
+            minus = list(axes)
+            plus[i] = axes[i] + 1
+            minus[i] = axes[i] - 1
+            terms.append(c * (u(t, *plus) - 2.0 * center + u(t, *minus)))
+        return u(t + 1, *axes) << sum_of(terms)
+
+    return Kernel(ndim, body, name=f"heat_{ndim}d")
+
+
+def build_heat(
+    sizes: tuple[int, ...],
+    steps: int,
+    *,
+    periodic: bool = True,
+    seed: int = 0,
+    alpha: float = 0.1,
+) -> AppInstance:
+    """General heat builder (any dimensionality, either boundary)."""
+    ndim = len(sizes)
+    u = PochoirArray("u", sizes)
+    u.register_boundary(PeriodicBoundary() if periodic else ConstantBoundary(0.0))
+    stencil = Stencil(ndim, heat_shape(ndim), name="heat")
+    stencil.register_array(u)
+    coeffs = tuple(alpha for _ in range(ndim))
+    kernel = heat_kernel(u, coeffs)
+    rng = np.random.default_rng(seed)
+    u.set_initial(rng.random(sizes))
+    return AppInstance(
+        name=f"heat_{ndim}d{'p' if periodic else ''}",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="u",
+        meta={"periodic": periodic, "alpha": alpha},
+    )
+
+
+# -- Figure 3 rows ---------------------------------------------------------
+
+@register("heat2d", "paper")
+def _heat2d_paper() -> AppInstance:
+    return build_heat((16_000, 16_000), 500, periodic=False)
+
+
+@register("heat2d", "small")
+def _heat2d_small() -> AppInstance:
+    return build_heat((1536, 1536), 64, periodic=False)
+
+
+@register("heat2d", "tiny")
+def _heat2d_tiny() -> AppInstance:
+    return build_heat((24, 24), 8, periodic=False)
+
+
+@register("heat2dp", "paper")
+def _heat2dp_paper() -> AppInstance:
+    return build_heat((16_000, 16_000), 500, periodic=True)
+
+
+@register("heat2dp", "small")
+def _heat2dp_small() -> AppInstance:
+    return build_heat((1536, 1536), 64, periodic=True)
+
+
+@register("heat2dp", "tiny")
+def _heat2dp_tiny() -> AppInstance:
+    return build_heat((24, 24), 8, periodic=True)
+
+
+@register("heat4d", "paper")
+def _heat4d_paper() -> AppInstance:
+    return build_heat((150, 150, 150, 150), 100, periodic=False)
+
+
+@register("heat4d", "small")
+def _heat4d_small() -> AppInstance:
+    return build_heat((24, 24, 24, 24), 16, periodic=False)
+
+
+@register("heat4d", "tiny")
+def _heat4d_tiny() -> AppInstance:
+    return build_heat((6, 6, 6, 6), 4, periodic=False)
+
+
+@register("heat1d", "small")
+def _heat1d_small() -> AppInstance:
+    return build_heat((65_536,), 256, periodic=True)
+
+
+@register("heat1d", "tiny")
+def _heat1d_tiny() -> AppInstance:
+    return build_heat((64,), 12, periodic=True)
+
+
+@register("heat3d", "small")
+def _heat3d_small() -> AppInstance:
+    return build_heat((64, 64, 64), 32, periodic=False)
+
+
+@register("heat3d", "tiny")
+def _heat3d_tiny() -> AppInstance:
+    return build_heat((10, 10, 10), 4, periodic=False)

@@ -1,0 +1,127 @@
+"""Longest common subsequence (Figure 3 row "LCS").
+
+The classic DP ``L(i,j) = L(i-1,j-1)+1 if a_i == b_j else
+max(L(i-1,j), L(i,j-1))`` is not a stencil over (i, j) — the same-row
+dependency L(i, j-1) is a same-time read.  The paper runs LCS as a
+**1-dimensional** stencil (grid 100,000, 200,000 steps): time is the
+anti-diagonal wavefront w = i + j and space is the diagonal offset
+x = i - j + N.  Under that embedding,
+
+* L(i-1, j) and L(i, j-1) live on wave w-1 at x -/+ 1 — reads of t at
+  x-1 / x+1;
+* L(i-1, j-1) lives on wave w-2 at the same x, and because x is inactive
+  on wave w-1 (parity alternates) its carried value at t *is* the wave
+  w-2 value — a read of t at x;
+
+so the kernel is a depth-1, slope-1, 3-point stencil plus parity/domain
+conditionals — the "diamond-shaped domain" the paper describes.
+
+Sequence lookups use *doubled* coordinate arrays (A2[2i] = A2[2i+1] =
+a[i]) so the half-integer index (w + x - N)/2 becomes the affine index
+w + x - N, evaluated only under the parity guard that makes it even.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.dputil import doubled, is_even
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import eq_, maximum, where
+from repro.language.array import ConstArray, PochoirArray
+from repro.language.boundary import ConstantBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def lcs_shape() -> Shape:
+    return Shape.from_cells([(1, 0), (0, 0), (0, 1), (0, -1)])
+
+
+def lcs_kernel(L: PochoirArray, a2: ConstArray, b2: ConstArray, n: int) -> Kernel:
+    def body(t, x):
+        w = t + 1  # wave index being computed
+        i2 = w + x - n  # == 2i
+        j2 = w - x + n  # == 2j
+        parity_ok = is_even(i2)
+        in_domain = (
+            (i2 >= 0) & (j2 >= 0) & (i2 <= 2 * n) & (j2 <= 2 * n)
+        )
+        interior = (i2 >= 2) & (j2 >= 2)
+        # a[i-1] = A2[2(i-1)] = A2[i2 - 2]; likewise for b.
+        match = eq_(a2(w + x - n - 2), b2(w - x + n - 2))
+        value = where(
+            interior,
+            where(
+                match,
+                L(t, x) + 1.0,  # L(i-1, j-1) + 1 via parity carry
+                maximum(L(t, x - 1), L(t, x + 1)),
+            ),
+            0.0,  # i == 0 or j == 0 border
+        )
+        return L(t + 1, x) << where(parity_ok & in_domain, value, L(t, x))
+
+    return Kernel(1, body, name="lcs_diamond")
+
+
+def build_lcs(n: int, steps: int | None = None, *, seed: int = 0) -> AppInstance:
+    """LCS of two random 4-letter sequences of length ``n`` each."""
+    if steps is None:
+        steps = 2 * n  # waves w = 1 .. 2n
+    width = 2 * n + 1
+    L = PochoirArray("L", (width,)).register_boundary(ConstantBoundary(0.0))
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 4, size=n)
+    b = rng.integers(0, 4, size=n)
+    a2 = ConstArray("a2", doubled(a))
+    b2 = ConstArray("b2", doubled(b))
+    stencil = Stencil(1, lcs_shape(), name="lcs")
+    stencil.register_array(L)
+    stencil.register_const_array(a2)
+    stencil.register_const_array(b2)
+    kernel = lcs_kernel(L, a2, b2, n)
+    L.set_initial(np.zeros(width))
+    return AppInstance(
+        name="lcs",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="L",
+        meta={"n": n, "answer_index": n, "a": a, "b": b},
+    )
+
+
+def lcs_length(app: AppInstance) -> int:
+    """Extract LCS(a, b) from a finished run: cell (i, j) = (n, n)."""
+    return int(round(app.result()[app.meta["n"]]))
+
+
+def reference_lcs(a: np.ndarray, b: np.ndarray) -> int:
+    """Textbook O(n^2) LCS for verification."""
+    n, m = len(a), len(b)
+    prev = np.zeros(m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        cur = np.zeros(m + 1, dtype=np.int64)
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return int(prev[m])
+
+
+@register("lcs", "paper")
+def _lcs_paper() -> AppInstance:
+    return build_lcs(50_000, 200_000)
+
+
+@register("lcs", "small")
+def _lcs_small() -> AppInstance:
+    return build_lcs(2_048)
+
+
+@register("lcs", "tiny")
+def _lcs_tiny() -> AppInstance:
+    return build_lcs(24)

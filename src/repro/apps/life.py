@@ -1,0 +1,78 @@
+"""Conway's Game of Life (Figure 3 row "Life 2p").
+
+A 9-point Moore-neighborhood stencil over a periodic grid.  Cell states
+are 0.0/1.0 doubles; the update rule is expressed with the DSL's
+elementwise conditionals:
+
+    alive' = (neighbors == 3) or (alive and neighbors == 2)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import eq_, sum_of, where
+from repro.language.array import PochoirArray
+from repro.language.boundary import PeriodicBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def life_shape() -> Shape:
+    cells = [(1, 0, 0)]
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            cells.append((0, dx, dy))
+    return Shape.from_cells(cells)
+
+
+def life_kernel(u: PochoirArray) -> Kernel:
+    def body(t, x, y):
+        neighbors = sum_of(
+            u(t, x + dx, y + dy)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if (dx, dy) != (0, 0)
+        )
+        alive = u(t, x, y)
+        return u(t + 1, x, y) << where(
+            eq_(neighbors, 3.0) | ((alive > 0.5) & eq_(neighbors, 2.0)),
+            1.0,
+            0.0,
+        )
+
+    return Kernel(2, body, name="life")
+
+
+def build_life(n: int, steps: int, *, seed: int = 0, density: float = 0.35) -> AppInstance:
+    u = PochoirArray("u", (n, n)).register_boundary(PeriodicBoundary())
+    stencil = Stencil(2, life_shape(), name="life")
+    stencil.register_array(u)
+    kernel = life_kernel(u)
+    rng = np.random.default_rng(seed)
+    u.set_initial((rng.random((n, n)) < density).astype(np.float64))
+    return AppInstance(
+        name="life",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="u",
+        meta={"density": density},
+    )
+
+
+@register("life", "paper")
+def _life_paper() -> AppInstance:
+    return build_life(16_000, 500)
+
+
+@register("life", "small")
+def _life_small() -> AppInstance:
+    return build_life(1280, 48)
+
+
+@register("life", "tiny")
+def _life_tiny() -> AppInstance:
+    return build_life(20, 8)

@@ -1,0 +1,130 @@
+"""3D 7-point and 27-point stencils — the Figure 5 kernels.
+
+The paper compares Pochoir to the Berkeley autotuner on exactly these two
+kernels (Datta's benchmark suite): the 7-point stencil costs 8 flops per
+point, the 27-point stencil 30 flops per point (weighted sums over face /
+edge / corner neighbor classes).  Nonperiodic with zero ghost values, as
+in the original setup ("ghost cells ... read but never written").
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import sum_of
+from repro.language.array import PochoirArray
+from repro.language.boundary import ConstantBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def seven_point_shape() -> Shape:
+    cells = [(1, 0, 0, 0), (0, 0, 0, 0)]
+    for i in range(3):
+        for sign in (+1, -1):
+            c = [0, 0, 0, 0]
+            c[1 + i] = sign
+            cells.append(tuple(c))
+    return Shape.from_cells(cells)
+
+
+def twenty_seven_point_shape() -> Shape:
+    cells = [(1, 0, 0, 0)]
+    for off in product((-1, 0, 1), repeat=3):
+        cells.append((0, *off))
+    return Shape.from_cells(cells)
+
+
+def seven_point_kernel(u: PochoirArray, alpha: float = 0.4, beta: float = 0.1) -> Kernel:
+    def body(t, x, y, z):
+        return u(t + 1, x, y, z) << alpha * u(t, x, y, z) + beta * (
+            u(t, x + 1, y, z) + u(t, x - 1, y, z)
+            + u(t, x, y + 1, z) + u(t, x, y - 1, z)
+            + u(t, x, y, z + 1) + u(t, x, y, z - 1)
+        )
+
+    return Kernel(3, body, name="pt7")
+
+
+def twenty_seven_point_kernel(
+    u: PochoirArray,
+    alpha: float = 0.25,
+    beta: float = 0.06,
+    gamma: float = 0.015,
+    delta: float = 0.004,
+) -> Kernel:
+    """Weighted by neighbor class: center / 6 faces / 12 edges / 8 corners."""
+
+    def body(t, x, y, z):
+        groups: dict[int, list] = {1: [], 2: [], 3: []}
+        for off in product((-1, 0, 1), repeat=3):
+            dist = sum(abs(o) for o in off)
+            if dist == 0:
+                continue
+            groups[dist].append(u(t, x + off[0], y + off[1], z + off[2]))
+        return u(t + 1, x, y, z) << (
+            alpha * u(t, x, y, z)
+            + beta * sum_of(groups[1])
+            + gamma * sum_of(groups[2])
+            + delta * sum_of(groups[3])
+        )
+
+    return Kernel(3, body, name="pt27")
+
+
+def build_points3d(
+    n: int, steps: int, *, points: int = 7, seed: int = 0
+) -> AppInstance:
+    u = PochoirArray("u", (n, n, n)).register_boundary(ConstantBoundary(0.0))
+    if points == 7:
+        shape, kernel = seven_point_shape(), seven_point_kernel(u)
+    elif points == 27:
+        shape, kernel = twenty_seven_point_shape(), twenty_seven_point_kernel(u)
+    else:
+        raise ValueError(f"points must be 7 or 27, got {points}")
+    stencil = Stencil(3, shape, name=f"pt{points}")
+    stencil.register_array(u)
+    rng = np.random.default_rng(seed)
+    u.set_initial(rng.random((n, n, n)))
+    return AppInstance(
+        name=f"pt{points}",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="u",
+        meta={"points": points, "flops_per_point": 8 if points == 7 else 30},
+    )
+
+
+@register("pt7", "paper")
+def _pt7_paper() -> AppInstance:
+    return build_points3d(258, 200, points=7)
+
+
+@register("pt7", "small")
+def _pt7_small() -> AppInstance:
+    return build_points3d(192, 8, points=7)
+
+
+@register("pt7", "tiny")
+def _pt7_tiny() -> AppInstance:
+    return build_points3d(10, 3, points=7)
+
+
+@register("pt27", "paper")
+def _pt27_paper() -> AppInstance:
+    return build_points3d(258, 200, points=27)
+
+
+@register("pt27", "small")
+def _pt27_small() -> AppInstance:
+    return build_points3d(128, 6, points=27)
+
+
+@register("pt27", "tiny")
+def _pt27_tiny() -> AppInstance:
+    return build_points3d(10, 3, points=27)

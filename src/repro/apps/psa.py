@@ -1,0 +1,188 @@
+"""Pairwise sequence alignment with affine gaps — Gotoh (Figure 3 "PSA").
+
+Gotoh's three-matrix recurrence on the diamond embedding (see
+:mod:`repro.apps.dputil` and the LCS module for the coordinate system):
+
+    M(i,j) = max(M, X, Y)(i-1, j-1) + s(i, j)
+    X(i,j) = max(M(i-1, j) - open,  X(i-1, j) - extend)
+    Y(i,j) = max(M(i, j-1) - open,  Y(i, j-1) - extend)
+
+On wave w = i + j with x = i - j + N: (i-1, j) is (t, x-1); (i, j-1) is
+(t, x+1); (i-1, j-1) is the parity-carried (t, x).  Three registered
+arrays update per step, every update guarded by the diamond-domain
+conditionals — the paper notes PSA "employs many conditional branches in
+the kernel in order to distinguish interior points from exterior
+points", which is exactly the structure here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.dputil import doubled, is_even
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import eq_, maximum, where
+from repro.language.array import ConstArray, PochoirArray
+from repro.language.boundary import ConstantBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+NEG = -1.0e9  # effectively -infinity for max-plus scores
+
+
+def psa_shape() -> Shape:
+    return Shape.from_cells([(1, 0), (0, 0), (0, 1), (0, -1)])
+
+
+def psa_kernel(
+    M: PochoirArray,
+    X: PochoirArray,
+    Y: PochoirArray,
+    a2: ConstArray,
+    b2: ConstArray,
+    n: int,
+    *,
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap_open: float = 3.0,
+    gap_extend: float = 0.5,
+) -> Kernel:
+    def body(t, x):
+        w = t + 1
+        i2 = w + x - n  # == 2i
+        j2 = w - x + n  # == 2j
+        active = (
+            is_even(i2)
+            & (i2 >= 0)
+            & (j2 >= 0)
+            & (i2 <= 2 * n)
+            & (j2 <= 2 * n)
+        )
+        both_pos = (i2 >= 2) & (j2 >= 2)
+        s = where(eq_(a2(w + x - n - 2), b2(w - x + n - 2)), match, mismatch)
+        m_val = where(
+            both_pos,
+            maximum(M(t, x), X(t, x), Y(t, x)) + s,
+            NEG,  # cells on the i==0 / j==0 borders never start a match
+        )
+        x_val = where(
+            i2 >= 2,  # i >= 1: a gap in b consuming a_i
+            maximum(M(t, x - 1) - gap_open, X(t, x - 1) - gap_extend),
+            NEG,
+        )
+        y_val = where(
+            j2 >= 2,  # j >= 1: a gap in a consuming b_j
+            maximum(M(t, x + 1) - gap_open, Y(t, x + 1) - gap_extend),
+            NEG,
+        )
+        return [
+            M(t + 1, x) << where(active, m_val, M(t, x)),
+            X(t + 1, x) << where(active, x_val, X(t, x)),
+            Y(t + 1, x) << where(active, y_val, Y(t, x)),
+        ]
+
+    return Kernel(1, body, name="psa_gotoh")
+
+
+def build_psa(
+    n: int,
+    steps: int | None = None,
+    *,
+    seed: int = 0,
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap_open: float = 3.0,
+    gap_extend: float = 0.5,
+) -> AppInstance:
+    if steps is None:
+        steps = 2 * n
+    width = 2 * n + 1
+    M = PochoirArray("M", (width,)).register_boundary(ConstantBoundary(NEG))
+    X = PochoirArray("X", (width,)).register_boundary(ConstantBoundary(NEG))
+    Y = PochoirArray("Y", (width,)).register_boundary(ConstantBoundary(NEG))
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 4, size=n)
+    b = rng.integers(0, 4, size=n)
+    a2 = ConstArray("a2", doubled(a))
+    b2 = ConstArray("b2", doubled(b))
+    stencil = Stencil(1, psa_shape(), name="psa")
+    for arr in (M, X, Y):
+        stencil.register_array(arr)
+    stencil.register_const_array(a2)
+    stencil.register_const_array(b2)
+    kernel = psa_kernel(
+        M, X, Y, a2, b2, n,
+        match=match, mismatch=mismatch,
+        gap_open=gap_open, gap_extend=gap_extend,
+    )
+    init = np.full(width, NEG)
+    M.set_initial(init.copy())
+    M[0, n] = 0.0  # M(0, 0) = 0: the alignment origin
+    X.set_initial(init.copy())
+    Y.set_initial(init.copy())
+    return AppInstance(
+        name="psa",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="M",
+        meta={
+            "n": n, "a": a, "b": b,
+            "params": (match, mismatch, gap_open, gap_extend),
+        },
+    )
+
+
+def alignment_score(app: AppInstance) -> float:
+    """Best global alignment score: max of M/X/Y at cell (n, n)."""
+    n = app.meta["n"]
+    cursor = app.stencil.cursor
+    assert cursor is not None
+    return max(
+        float(app.stencil.arrays[name].snapshot(cursor)[n])
+        for name in ("M", "X", "Y")
+    )
+
+
+def reference_psa(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap_open: float = 3.0,
+    gap_extend: float = 0.5,
+) -> float:
+    """Textbook O(n m) Gotoh global alignment (for verification)."""
+    n, m = len(a), len(b)
+    M = np.full((n + 1, m + 1), NEG)
+    X = np.full((n + 1, m + 1), NEG)
+    Y = np.full((n + 1, m + 1), NEG)
+    M[0, 0] = 0.0
+    for i in range(1, n + 1):
+        X[i, 0] = max(M[i - 1, 0] - gap_open, X[i - 1, 0] - gap_extend)
+    for j in range(1, m + 1):
+        Y[0, j] = max(M[0, j - 1] - gap_open, Y[0, j - 1] - gap_extend)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            s = match if a[i - 1] == b[j - 1] else mismatch
+            M[i, j] = max(M[i - 1, j - 1], X[i - 1, j - 1], Y[i - 1, j - 1]) + s
+            X[i, j] = max(M[i - 1, j] - gap_open, X[i - 1, j] - gap_extend)
+            Y[i, j] = max(M[i, j - 1] - gap_open, Y[i, j - 1] - gap_extend)
+    return float(max(M[n, m], X[n, m], Y[n, m]))
+
+
+@register("psa", "paper")
+def _psa_paper() -> AppInstance:
+    return build_psa(50_000, 200_000)
+
+
+@register("psa", "small")
+def _psa_small() -> AppInstance:
+    return build_psa(1_536)
+
+
+@register("psa", "tiny")
+def _psa_tiny() -> AppInstance:
+    return build_psa(20)

@@ -1,0 +1,102 @@
+"""RNA secondary-structure DP (Figure 3 row "RNA").
+
+The paper's RNA benchmark (Akutsu's DP) runs on a small 300^2 grid with a
+branch-heavy kernel over a triangular domain, and gains little from
+parallelization (parallelism ~5).  We reproduce that character with a
+**Nussinov-style interval DP without the bifurcation term** (the paper's
+kernel is likewise a constant-offset window; full Nussinov's split max is
+not a constant-offset stencil — documented substitution in DESIGN.md):
+
+    S(i, j) = max( S(i+1, j), S(i, j-1), S(i+1, j-1) + pair(i, j) )
+
+computed wavefront-by-wavefront over the gap g = j - i, with time as the
+wavefront index.  Cells off the active anti-diagonal carry their values
+forward, so reads of gap g-2 resolve from the carried level — giving a
+depth-1 stencil with slopes (1, 1) and a kernel dominated by index
+conditionals, exactly the profile Figure 3 reports for RNA.
+
+Bases are coded 0..3 (A, C, G, U); ``pair(i, j)`` scores 1 when codes sum
+to 3 (A-U, C-G — wobble pairs omitted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import eq_, maximum, where
+from repro.language.array import ConstArray, PochoirArray
+from repro.language.boundary import ConstantBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def rna_shape() -> Shape:
+    return Shape.from_cells(
+        [(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, 0, -1), (0, 1, -1)]
+    )
+
+
+def rna_kernel(s: PochoirArray, seq: ConstArray) -> Kernel:
+    def body(t, x, y):
+        # Active cells of the wave writing level t+1 have gap y - x == t+1
+        # (level g holds all intervals of gap <= g; inactive cells carry).
+        active = eq_(y - x, t + 1)
+        pair = where(eq_(seq(x) + seq(y), 3.0), 1.0, 0.0)
+        best = maximum(
+            s(t, x + 1, y),  # i+1, j   (gap g-1, previous wave)
+            s(t, x, y - 1),  # i, j-1   (gap g-1, previous wave)
+            s(t, x + 1, y - 1) + pair,  # i+1, j-1 (gap g-2, carried)
+        )
+        return s(t + 1, x, y) << where(active, best, s(t, x, y))
+
+    return Kernel(2, body, name="rna_nussinov")
+
+
+def build_rna(n: int, steps: int | None = None, *, seed: int = 0) -> AppInstance:
+    if steps is None:
+        steps = n - 1  # waves for every gap 1..n-1
+    s = PochoirArray("s", (n, n)).register_boundary(ConstantBoundary(0.0))
+    seq_codes = np.random.default_rng(seed).integers(0, 4, size=n)
+    seq = ConstArray("seq", seq_codes.astype(np.float64))
+    stencil = Stencil(2, rna_shape(), name="rna")
+    stencil.register_array(s)
+    stencil.register_const_array(seq)
+    kernel = rna_kernel(s, seq)
+    s.set_initial(np.zeros((n, n)))
+    return AppInstance(
+        name="rna",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="s",
+        meta={"n": n, "note": "Nussinov without bifurcation (see DESIGN.md)"},
+    )
+
+
+def reference_rna(seq_codes: np.ndarray) -> np.ndarray:
+    """Direct interval-DP evaluation of the same recurrence (for tests)."""
+    n = len(seq_codes)
+    S = np.zeros((n, n))
+    for gap in range(1, n):
+        for i in range(0, n - gap):
+            j = i + gap
+            pair = 1.0 if seq_codes[i] + seq_codes[j] == 3 else 0.0
+            S[i, j] = max(S[i + 1, j], S[i, j - 1], S[i + 1, j - 1] + pair)
+    return S
+
+
+@register("rna", "paper")
+def _rna_paper() -> AppInstance:
+    return build_rna(300, 900)
+
+
+@register("rna", "small")
+def _rna_small() -> AppInstance:
+    return build_rna(160)
+
+
+@register("rna", "tiny")
+def _rna_tiny() -> AppInstance:
+    return build_rna(16)

@@ -1,0 +1,87 @@
+"""3D finite-difference wave equation (Figure 3 row "Wave 3").
+
+A depth-2 stencil — the update reads both ``t`` and ``t-1`` — which
+exercises the modular time buffer with three slots and per-dimension
+slope 1 across two time levels:
+
+    u_{t+1} = 2 u_t - u_{t-1} + c^2 * laplacian(u_t)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import AppInstance, register
+from repro.expr.builder import sum_of
+from repro.language.array import PochoirArray
+from repro.language.boundary import ConstantBoundary
+from repro.language.kernel import Kernel
+from repro.language.shape import Shape
+from repro.language.stencil import Stencil
+
+
+def wave_shape(ndim: int = 3) -> Shape:
+    home = (1,) + (0,) * ndim
+    cells = [home, (0,) * (ndim + 1), (-1,) + (0,) * ndim]
+    for i in range(ndim):
+        for sign in (+1, -1):
+            cell = [0] * (ndim + 1)
+            cell[1 + i] = sign
+            cells.append(tuple(cell))
+    return Shape.from_cells(cells)
+
+
+def wave_kernel(u: PochoirArray, c2: float) -> Kernel:
+    ndim = u.ndim
+
+    def body(t, *axes):
+        center = u(t, *axes)
+        lap_terms = []
+        for i in range(ndim):
+            plus = list(axes)
+            minus = list(axes)
+            plus[i] = axes[i] + 1
+            minus[i] = axes[i] - 1
+            lap_terms.append(u(t, *plus) - 2.0 * center + u(t, *minus))
+        return u(t + 1, *axes) << (
+            2.0 * center - u(t - 1, *axes) + c2 * sum_of(lap_terms)
+        )
+
+    return Kernel(ndim, body, name=f"wave_{ndim}d")
+
+
+def build_wave(
+    sizes: tuple[int, ...], steps: int, *, seed: int = 0, c2: float = 0.2
+) -> AppInstance:
+    ndim = len(sizes)
+    u = PochoirArray("u", sizes, depth=2).register_boundary(ConstantBoundary(0.0))
+    stencil = Stencil(ndim, wave_shape(ndim), name="wave")
+    stencil.register_array(u)
+    kernel = wave_kernel(u, c2)
+    rng = np.random.default_rng(seed)
+    init = rng.random(sizes)
+    u.set_initial(init, t=0)
+    u.set_initial(init, t=1)  # zero initial velocity
+    return AppInstance(
+        name=f"wave_{ndim}d",
+        stencil=stencil,
+        kernel=kernel,
+        steps=steps,
+        result_array="u",
+        meta={"c2": c2, "depth": 2},
+    )
+
+
+@register("wave3d", "paper")
+def _wave_paper() -> AppInstance:
+    return build_wave((1000, 1000, 1000), 500)
+
+
+@register("wave3d", "small")
+def _wave_small() -> AppInstance:
+    return build_wave((96, 96, 96), 32)
+
+
+@register("wave3d", "tiny")
+def _wave_tiny() -> AppInstance:
+    return build_wave((10, 10, 10), 4)

@@ -1,0 +1,23 @@
+"""Autotuners: ISAT-style coarsening search and the Berkeley-style
+blocked-loop comparator.
+
+Section 4 of the paper integrates the ISAT autotuner to pick base-case
+coarsening, with heuristics as the fast default; Figure 5 compares
+Pochoir to the Berkeley stencil autotuner.  Both roles are reproduced:
+
+* :mod:`repro.autotune.isat` — coordinate-descent over (space, time)
+  coarsening thresholds, timing real TRAP runs.
+* :mod:`repro.autotune.berkeley` — a cache-blocked loop implementation
+  with an exhaustive block-size search, standing in for the closed-source
+  Berkeley autotuner as the Figure 5 comparator.
+"""
+
+from repro.autotune.isat import CoarseningResult, tune_coarsening
+from repro.autotune.berkeley import BlockedLoopResult, tune_blocked_loops
+
+__all__ = [
+    "BlockedLoopResult",
+    "CoarseningResult",
+    "tune_blocked_loops",
+    "tune_coarsening",
+]

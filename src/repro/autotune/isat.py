@@ -1,0 +1,112 @@
+"""ISAT-style autotuning of the base-case coarsening (Section 4).
+
+The paper: "Since choosing the optimal size of the base case can be
+difficult, we integrated the ISAT autotuner into Pochoir … this autotuning
+process can take hours", hence the shipped heuristics.  This module
+reproduces the autotuner's role at laptop scale: a coordinate-descent
+search over the (space threshold, time threshold) grid, each candidate
+evaluated by timing a real TRAP run of a small representative problem.
+
+The search space is logarithmic (powers of two around the heuristic
+default), so a tune costs tens of runs, not hours.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import AutotuneError
+from repro.language.kernel import Kernel
+from repro.language.stencil import RunOptions, Stencil
+
+
+@dataclass
+class CoarseningResult:
+    """Outcome of a coarsening tune."""
+
+    space_threshold: int
+    dt_threshold: int
+    best_time: float
+    evaluations: int
+    history: list[tuple[int, int, float]]
+
+    def as_options(self, ndim: int, protect_unit_stride: bool | None = None):
+        """WalkOptions-style kwargs for Stencil.run."""
+        return {
+            "space_thresholds": (self.space_threshold,) * ndim,
+            "dt_threshold": self.dt_threshold,
+            "protect_unit_stride": protect_unit_stride,
+        }
+
+
+def tune_coarsening(
+    make_problem: Callable[[], tuple[Stencil, Kernel]],
+    steps: int,
+    *,
+    space_candidates: Sequence[int] = (16, 32, 64, 128, 256),
+    dt_candidates: Sequence[int] = (2, 4, 8, 16, 32),
+    mode: str = "auto",
+    repeats: int = 1,
+    max_sweeps: int = 3,
+) -> CoarseningResult:
+    """Coordinate-descent over (space, time) coarsening thresholds.
+
+    ``make_problem`` must return a *fresh* (stencil, kernel) pair per call
+    (runs mutate array state).  Starts from the middle of each candidate
+    list and alternates sweeps over the two axes until a sweep makes no
+    improvement.
+    """
+    if not space_candidates or not dt_candidates:
+        raise AutotuneError("candidate lists must be non-empty")
+
+    timings: dict[tuple[int, int], float] = {}
+    history: list[tuple[int, int, float]] = []
+
+    def evaluate(space: int, dt: int) -> float:
+        key = (space, dt)
+        if key in timings:
+            return timings[key]
+        best = float("inf")
+        for _ in range(repeats):
+            stencil, kernel = make_problem()
+            ndim = stencil.ndim
+            opts = RunOptions(
+                algorithm="trap",
+                mode=mode,
+                space_thresholds=(space,) * ndim,
+                dt_threshold=dt,
+                collect_stats=False,
+            )
+            t0 = time.perf_counter()
+            stencil.run(steps, kernel, opts)
+            best = min(best, time.perf_counter() - t0)
+        timings[key] = best
+        history.append((space, dt, best))
+        return best
+
+    space = space_candidates[len(space_candidates) // 2]
+    dt = dt_candidates[len(dt_candidates) // 2]
+    best_time = evaluate(space, dt)
+
+    for _ in range(max_sweeps):
+        improved = False
+        for cand in space_candidates:
+            t = evaluate(cand, dt)
+            if t < best_time:
+                best_time, space, improved = t, cand, True
+        for cand in dt_candidates:
+            t = evaluate(space, cand)
+            if t < best_time:
+                best_time, dt, improved = t, cand, True
+        if not improved:
+            break
+
+    return CoarseningResult(
+        space_threshold=space,
+        dt_threshold=dt,
+        best_time=best_time,
+        evaluations=len(timings),
+        history=history,
+    )

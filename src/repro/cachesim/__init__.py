@@ -1,0 +1,23 @@
+"""Ideal-cache simulation: the measurement substrate for Figure 10.
+
+The paper verifies with Linux ``perf`` that TRAP loses no cache
+efficiency versus STRAP, and that both beat parallel loops.  Hardware
+counters are unavailable here, but Section 3's analysis is stated in the
+*ideal-cache model* (fully associative, LRU, optimal replacement
+approximated by LRU within a factor of 2): we simulate exactly that model
+over the exact serial-order access trace each algorithm generates, and
+report the same miss-ratio metric the figure plots.
+"""
+
+from repro.cachesim.ideal_cache import IdealCache
+from repro.cachesim.trace import CacheStats, simulate_loops_cache, simulate_plan_cache
+from repro.cachesim.metrics import loops_miss_bound, trap_miss_bound
+
+__all__ = [
+    "CacheStats",
+    "IdealCache",
+    "loops_miss_bound",
+    "simulate_loops_cache",
+    "simulate_plan_cache",
+    "trap_miss_bound",
+]

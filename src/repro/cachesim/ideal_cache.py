@@ -1,0 +1,76 @@
+"""A fully associative LRU cache over a flat grid-point address space.
+
+Parameters follow the ideal-cache model of Frigo et al. (the model the
+paper's Section 3 analysis uses): the cache holds ``M`` grid points in
+lines of ``B`` points; replacement is LRU (within a constant factor of
+the model's optimal replacement).  Addresses are element indices into the
+concatenated storage of all registered arrays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import SpecificationError
+
+
+class IdealCache:
+    """LRU ideal cache counting references (in points) and line misses.
+
+    >>> c = IdealCache(capacity_points=16, line_points=4)
+    >>> c.access_range(0, 8)   # touches lines 0 and 1: 2 misses
+    >>> c.refs, c.misses
+    (8, 2)
+    >>> c.access_range(0, 8)   # both lines resident now
+    >>> c.misses
+    2
+    """
+
+    def __init__(self, capacity_points: int, line_points: int):
+        if line_points < 1:
+            raise SpecificationError(f"line_points must be >= 1, got {line_points}")
+        if capacity_points < line_points:
+            raise SpecificationError(
+                f"cache must hold at least one line "
+                f"({capacity_points=} < {line_points=})"
+            )
+        self.line_points = int(line_points)
+        self.capacity_lines = int(capacity_points) // int(line_points)
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self.refs = 0
+        self.misses = 0
+
+    def access_range(self, start: int, length: int) -> None:
+        """Reference ``length`` consecutive points starting at ``start``."""
+        if length <= 0:
+            return
+        self.refs += length
+        B = self.line_points
+        lines = self._lines
+        first = start // B
+        last = (start + length - 1) // B
+        cap = self.capacity_lines
+        for line in range(first, last + 1):
+            if line in lines:
+                lines.move_to_end(line)
+            else:
+                self.misses += 1
+                lines[line] = None
+                if len(lines) > cap:
+                    lines.popitem(last=False)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per reference — the y-axis of Figure 10."""
+        return self.misses / self.refs if self.refs else 0.0
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    def reset_counters(self) -> None:
+        self.refs = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        self._lines.clear()

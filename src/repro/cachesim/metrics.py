@@ -1,0 +1,49 @@
+"""Closed-form cache-complexity bounds from Section 3 of the paper.
+
+These are the theory overlays for Figure 10 and the sanity bounds the
+property tests check the simulator against:
+
+* both TRAP and STRAP incur ``Theta(h * w^d / (M^{1/d} * B))`` misses on a
+  grid of normalized width w and height h (Frigo–Strumpen's bound — the
+  paper proves TRAP matches it despite the extra parallelism);
+* the loop algorithm incurs ``Theta(h * w^d / B)`` misses whenever the
+  spatial grid does not fit in cache (one cold sweep per step).
+"""
+
+from __future__ import annotations
+
+
+def trap_miss_bound(
+    sizes: tuple[int, ...],
+    height: int,
+    *,
+    capacity_points: int,
+    line_points: int,
+) -> float:
+    """Leading-order TRAP/STRAP miss count: h * w^d / (M^(1/d) * B)."""
+    d = len(sizes)
+    vol = 1.0
+    for s in sizes:
+        vol *= s
+    return height * vol / (capacity_points ** (1.0 / d) * line_points)
+
+
+def loops_miss_bound(
+    sizes: tuple[int, ...],
+    height: int,
+    *,
+    capacity_points: int,
+    line_points: int,
+) -> float:
+    """Leading-order loop-algorithm miss count.
+
+    Out of cache (spatial grid larger than M): every sweep streams the
+    grid, ``h * w^d / B`` misses.  In cache: only the compulsory misses,
+    ``w^d / B``.
+    """
+    vol = 1.0
+    for s in sizes:
+        vol *= s
+    if vol * 2 <= capacity_points:  # both time copies resident
+        return vol / line_points
+    return height * vol / line_points

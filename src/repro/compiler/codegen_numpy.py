@@ -1,0 +1,331 @@
+"""The ``split_pointer`` backend: vectorized NumPy slice kernels.
+
+This is the analogue of the paper's ``-split-pointer`` optimization
+(Figure 12(c)): where Pochoir turns each stencil term into a C pointer
+incremented along the unit-stride dimension, we turn each term into a
+NumPy *slice view* of the underlying buffer — the same strength reduction
+(no per-point index arithmetic, contiguous walks of memory), expressed in
+the idiom the platform optimizes.
+
+The interior clone applies one whole time step to a rectangular region
+with pure slice arithmetic.  The boundary clone evaluates the same
+expressions over *true* (modulo-reduced) coordinates, gathering neighbor
+values through the per-array boundary remap/fill helpers of
+:mod:`repro.compiler.runtime_support`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompileError, KernelError
+from repro.compiler.frontend import KernelIR
+from repro.compiler import runtime_support
+from repro.expr.nodes import (
+    Assign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    ConstArrayRead,
+    Expr,
+    GridRead,
+    IndexValue,
+    Let,
+    LocalRead,
+    NotOp,
+    Param,
+    UnOp,
+    Where,
+)
+from repro.language.boundary import (
+    Boundary,
+    ConstantBoundary,
+    DirichletBoundary,
+    MixedBoundary,
+    NeumannBoundary,
+    PeriodicBoundary,
+)
+
+CloneFn = Callable[[int, tuple[int, ...], tuple[int, ...]], None]
+
+_NP_MATH = {
+    "exp": "np.exp",
+    "log": "np.log",
+    "sqrt": "np.sqrt",
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tanh": "np.tanh",
+    "fabs": "np.abs",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+}
+
+
+def _slot_tag(dt: int) -> str:
+    return f"m{-dt}" if dt < 0 else f"p{dt}"
+
+
+def boundary_modes(b: Boundary | None, ndim: int) -> list[str] | None:
+    """Per-dimension remap modes for a remap-kind boundary, else None.
+
+    An unregistered boundary degrades to clamp: it is only ever consulted
+    for reads that are actually in-domain (a kernel whose shape never
+    leaves the grid), where clamping is the identity.
+    """
+    if b is None:
+        return ["clip"] * ndim
+    if isinstance(b, PeriodicBoundary):
+        return ["mod"] * ndim
+    if isinstance(b, NeumannBoundary):
+        return ["clip"] * ndim
+    if isinstance(b, MixedBoundary):
+        modes = []
+        for i in range(ndim):
+            m = b.modes[i] if i < len(b.modes) else "clamp"
+            modes.append("mod" if m == "periodic" else "clip")
+        return modes
+    return None
+
+
+def boundary_fill_expr(b: Boundary, dt: int) -> str | None:
+    """Source of the scalar fill value at time ``t + dt``, else None."""
+    if isinstance(b, ConstantBoundary):
+        return repr(b.value)
+    if isinstance(b, DirichletBoundary):
+        return f"({b.base!r} + {b.per_step!r} * (t{dt:+d}))"
+    return None
+
+
+def is_vectorizable_boundary(b: Boundary | None) -> bool:
+    """True when the NumPy boundary clone can handle this boundary kind."""
+    return b is None or b.is_index_remap or b.is_fill
+
+
+class _NumpyCodegen:
+    """Expression codegen shared by the two NumPy clones."""
+
+    def __init__(self, ir: KernelIR, boundary_mode: bool):
+        self.ir = ir
+        self.boundary_mode = boundary_mode
+        self.used_axes: set[int] = set()
+
+    # W{i}: 1-D true home coordinates; AX{i}R: reshaped for broadcasting.
+    def axis_ref(self, i: int) -> str:
+        self.used_axes.add(i)
+        return f"AX{i}R"
+
+    def affine(self, index) -> str:
+        parts: list[str] = []
+        for ax, c in index.terms:
+            base = "t" if ax.is_time else self.axis_ref(ax.position)
+            parts.append(base if c == 1 else f"{c}*{base}")
+        if index.const or not parts:
+            parts.append(str(index.const))
+        return "(" + " + ".join(parts) + ")"
+
+    def grid_read(self, node: GridRead) -> str:
+        if not self.boundary_mode:
+            subs = []
+            for i, off in enumerate(node.offsets):
+                lo = f"l{i}" if off == 0 else f"l{i}{off:+d}"
+                hi = f"h{i}" if off == 0 else f"h{i}{off:+d}"
+                subs.append(f"{lo}:{hi}")
+            return (
+                f"D_{node.array}[s_{node.array}_{_slot_tag(node.dt)}, "
+                f"{', '.join(subs)}]"
+            )
+        arr = self.ir.arrays[node.array]
+        coords = ", ".join(
+            f"W{i}" if off == 0 else f"W{i}{off:+d}"
+            for i, off in enumerate(node.offsets)
+        )
+        slot = f"s_{node.array}_{_slot_tag(node.dt)}"
+        modes = boundary_modes(arr.boundary, self.ir.ndim)
+        if modes is not None:
+            return (
+                f"GR(D_{node.array}, {slot}, ({coords},), {tuple(modes)!r}, "
+                f"{arr.sizes!r})"
+            )
+        assert arr.boundary is not None
+        fill = boundary_fill_expr(arr.boundary, node.dt)
+        if fill is None:
+            raise CompileError(
+                f"boundary {arr.boundary.describe()} of array "
+                f"{node.array!r} is not vectorizable"
+            )
+        return (
+            f"GF(D_{node.array}, {slot}, ({coords},), {arr.sizes!r}, {fill})"
+        )
+
+    def const_read(self, node: ConstArrayRead) -> str:
+        idx = ", ".join(self.affine(ix) for ix in node.indices)
+        return f"GC(C_{node.array}, ({idx},))"
+
+    def val(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            return repr(e.value)
+        if isinstance(e, Param):
+            raise CompileError(
+                f"parameter {e.name!r} is unbound at codegen; call "
+                f"stencil.set_param first"
+            )
+        if isinstance(e, IndexValue):
+            return f"({self.affine(e.index)} * 1.0)"
+        if isinstance(e, LocalRead):
+            return f"L_{e.name}"
+        if isinstance(e, GridRead):
+            return self.grid_read(e)
+        if isinstance(e, ConstArrayRead):
+            return self.const_read(e)
+        if isinstance(e, BinOp):
+            a, b = self.val(e.left), self.val(e.right)
+            if e.op == "min":
+                return f"np.minimum({a}, {b})"
+            if e.op == "max":
+                return f"np.maximum({a}, {b})"
+            if e.op == "%":
+                return f"np.fmod({a}, {b})"
+            if e.op == "**":
+                return f"({a} ** {b})"
+            return f"({a} {e.op} {b})"
+        if isinstance(e, UnOp):
+            v = self.val(e.operand)
+            return f"(-{v})" if e.op == "neg" else f"np.abs({v})"
+        if isinstance(e, Compare):
+            return f"({self.val(e.left)} {e.op} {self.val(e.right)})"
+        if isinstance(e, BoolOp):
+            fn = "np.logical_and" if e.op == "and" else "np.logical_or"
+            return f"{fn}({self.val(e.left)}, {self.val(e.right)})"
+        if isinstance(e, NotOp):
+            return f"np.logical_not({self.val(e.operand)})"
+        if isinstance(e, Where):
+            return (
+                f"np.where({self.val(e.cond)}, {self.val(e.if_true)}, "
+                f"{self.val(e.if_false)})"
+            )
+        if isinstance(e, Call):
+            args = ", ".join(self.val(a) for a in e.args)
+            return f"{_NP_MATH[e.func]}({args})"
+        raise KernelError(f"cannot generate code for {type(e).__name__}")
+
+
+def _interior_source(ir: KernelIR) -> str:
+    gen = _NumpyCodegen(ir, boundary_mode=False)
+    d = ir.ndim
+    body: list[str] = []
+    for st in ir.statements:
+        if isinstance(st, Let):
+            body.append(f"        L_{st.name} = {gen.val(st.expr)}")
+        elif isinstance(st, Assign):
+            arr = st.target.array
+            target = ", ".join(f"l{i}:h{i}" for i in range(d))
+            body.append(
+                f"        D_{arr}[s_{arr}_{_slot_tag(0)}, {target}] = "
+                f"{gen.val(st.expr)}"
+            )
+    lines = ["def interior(t, lo, hi):"]
+    for i in range(d):
+        lines.append(f"    l{i} = lo[{i}]; h{i} = hi[{i}]")
+    empty = " or ".join(f"h{i} <= l{i}" for i in range(d))
+    lines.append(f"    if {empty}:")
+    lines.append("        return")
+    for info in ir.array_infos:
+        for dt in info.dts:
+            lines.append(
+                f"    s_{info.name}_{_slot_tag(dt)} = (t{dt:+d}) % {info.slots}"
+            )
+    for i in sorted(gen.used_axes):
+        shape = ["1"] * d
+        shape[i] = "-1"
+        lines.append(
+            f"    AX{i}R = np.arange(l{i}, h{i}).reshape({', '.join(shape)})"
+        )
+    lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def _boundary_source(ir: KernelIR) -> str:
+    gen = _NumpyCodegen(ir, boundary_mode=True)
+    d = ir.ndim
+    body: list[str] = []
+    for st in ir.statements:
+        if isinstance(st, Let):
+            body.append(f"        L_{st.name} = {gen.val(st.expr)}")
+        elif isinstance(st, Assign):
+            arr = st.target.array
+            info = ir.arrays[arr]
+            coords = ", ".join(f"W{i}" for i in range(d))
+            body.append(
+                f"        SW(D_{arr}, s_{arr}_{_slot_tag(0)}, ({coords},), "
+                f"{gen.val(st.expr)})"
+            )
+    lines = ["def boundary(t, lo, hi):"]
+    for i in range(d):
+        lines.append(f"    l{i} = lo[{i}]; h{i} = hi[{i}]")
+    empty = " or ".join(f"h{i} <= l{i}" for i in range(d))
+    lines.append(f"    if {empty}:")
+    lines.append("        return")
+    for info in ir.array_infos:
+        for dt in info.dts:
+            lines.append(
+                f"    s_{info.name}_{_slot_tag(dt)} = (t{dt:+d}) % {info.slots}"
+            )
+    for i in range(d):
+        # True home coordinates (virtual reduced modulo the grid size).
+        lines.append(f"    W{i} = np.arange(l{i}, h{i}) % {ir.sizes[i]}")
+    for i in sorted(gen.used_axes):
+        shape = ["1"] * d
+        shape[i] = "-1"
+        lines.append(f"    AX{i}R = W{i}.reshape({', '.join(shape)})")
+    lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def _namespace(ir: KernelIR) -> dict:
+    ns: dict = {
+        "np": np,
+        "GR": runtime_support.gather_remap,
+        "GF": runtime_support.gather_fill,
+        "GC": runtime_support.gather_const,
+        "SW": runtime_support.scatter_write,
+    }
+    for arr_name, arr in ir.arrays.items():
+        ns[f"D_{arr_name}"] = arr.data
+    for c_name, c in ir.const_arrays.items():
+        ns[f"C_{c_name}"] = c.values
+    return ns
+
+
+def make_numpy_interior(ir: KernelIR) -> tuple[CloneFn, str]:
+    """Generate and compile the vectorized interior clone."""
+    src = _interior_source(ir)
+    ns = _namespace(ir)
+    exec(compile(src, f"<split_pointer:{'_'.join(ir.write_arrays)}>", "exec"), ns)
+    return ns["interior"], src
+
+
+def make_numpy_boundary(ir: KernelIR) -> tuple[CloneFn, str]:
+    """Generate and compile the vectorized boundary clone.
+
+    Raises :class:`CompileError` if any array's boundary kind is not
+    vectorizable (callers fall back to the per-point boundary clone).
+    """
+    for arr in ir.arrays.values():
+        if not is_vectorizable_boundary(arr.boundary):
+            raise CompileError(
+                f"array {arr.name!r} uses non-vectorizable boundary "
+                f"{arr.boundary.describe() if arr.boundary else None}"
+            )
+    src = _boundary_source(ir)
+    ns = _namespace(ir)
+    exec(
+        compile(src, f"<split_pointer_bnd:{'_'.join(ir.write_arrays)}>", "exec"),
+        ns,
+    )
+    return ns["boundary"], src

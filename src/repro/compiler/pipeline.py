@@ -1,0 +1,135 @@
+"""The compile driver: pick a backend, build both clones, cache results.
+
+``compile_kernel`` is what the execution driver calls.  Mode semantics:
+
+* ``"auto"`` — ``split_pointer`` (vectorized NumPy; always available).
+* ``"c"`` — C interior + C boundary when every boundary kind is
+  expressible, else C interior with the per-point Python boundary clone
+  (the paper's design survives: the boundary clone is allowed to be slow).
+* ``"split_pointer"`` — NumPy clones, falling back to the per-point
+  boundary clone for non-vectorizable boundary kinds.
+* ``"macro_shadow"`` / ``"interp"`` — per-point clones.
+
+Compiled kernels are cached per (kernel AST, array metadata, mode): the
+generated code bakes in array identities, sizes and boundary kinds, so
+those form the cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CompileError
+from repro.compiler import codegen_c, codegen_numpy, codegen_python
+from repro.compiler.frontend import KernelIR, build_ir
+from repro.language.stencil import Problem
+
+CloneFn = Callable[[int, tuple[int, ...], tuple[int, ...]], None]
+
+
+@dataclass
+class CompiledKernel:
+    """Both kernel clones plus provenance for reporting and tests."""
+
+    interior: CloneFn
+    boundary: CloneFn
+    mode: str
+    boundary_mode: str
+    ir: KernelIR
+    sources: dict[str, str] = field(default_factory=dict)
+
+
+#: (ir cache key, mode) -> CompiledKernel
+_CACHE: dict[tuple, CompiledKernel] = {}
+
+
+def available_modes() -> tuple[str, ...]:
+    """Codegen modes usable on this machine."""
+    modes = ["interp", "macro_shadow", "split_pointer"]
+    if codegen_c.find_c_compiler() is not None:
+        modes.append("c")
+    return tuple(modes)
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def compile_kernel(problem: Problem, mode: str = "auto") -> CompiledKernel:
+    """Compile the problem's kernel into interior/boundary clones."""
+    if mode == "auto":
+        mode = "split_pointer"
+    ir = build_ir(problem)
+    key = (ir.cache_key(), mode, tuple(id(a.data) for a in ir.arrays.values()))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    compiled = _compile_ir(ir, mode)
+    _CACHE[key] = compiled
+    return compiled
+
+
+def _compile_ir(ir: KernelIR, mode: str) -> CompiledKernel:
+    sources: dict[str, str] = {}
+    if mode == "interp":
+        interior = codegen_python.make_interp_interior(ir)
+        boundary = codegen_python.make_interp_boundary(ir)
+        return CompiledKernel(
+            interior=interior,
+            boundary=boundary,
+            mode="interp",
+            boundary_mode="interp",
+            ir=ir,
+            sources=sources,
+        )
+    if mode == "macro_shadow":
+        interior, src_i = codegen_python.make_macro_shadow_interior(ir)
+        boundary, src_b = codegen_python.make_macro_shadow_boundary(ir)
+        sources["interior"] = src_i
+        sources["boundary"] = src_b
+        return CompiledKernel(
+            interior=interior,
+            boundary=boundary,
+            mode="macro_shadow",
+            boundary_mode="macro_shadow",
+            ir=ir,
+            sources=sources,
+        )
+    if mode == "split_pointer":
+        interior, src_i = codegen_numpy.make_numpy_interior(ir)
+        sources["interior"] = src_i
+        try:
+            boundary, src_b = codegen_numpy.make_numpy_boundary(ir)
+            boundary_mode = "split_pointer"
+            sources["boundary"] = src_b
+        except CompileError:
+            boundary, src_b = codegen_python.make_macro_shadow_boundary(ir)
+            boundary_mode = "macro_shadow"
+            sources["boundary"] = src_b
+        return CompiledKernel(
+            interior=interior,
+            boundary=boundary,
+            mode="split_pointer",
+            boundary_mode=boundary_mode,
+            ir=ir,
+            sources=sources,
+        )
+    if mode == "c":
+        interior, boundary, src = codegen_c.make_c_clones(ir)
+        sources["c"] = src
+        if boundary is None:
+            boundary, src_b = codegen_python.make_macro_shadow_boundary(ir)
+            boundary_mode = "macro_shadow"
+            sources["boundary"] = src_b
+        else:
+            boundary_mode = "c"
+        return CompiledKernel(
+            interior=interior,
+            boundary=boundary,
+            mode="c",
+            boundary_mode=boundary_mode,
+            ir=ir,
+            sources=sources,
+        )
+    raise CompileError(f"unknown codegen mode {mode!r}")

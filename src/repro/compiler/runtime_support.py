@@ -1,0 +1,92 @@
+"""Runtime helpers called from generated NumPy kernel code.
+
+The generated ``split_pointer`` boundary clones gather neighbor values
+with fancy indexing; these helpers implement the three gather flavors
+(index-remap, masked-fill, const-array) so the generated source stays
+small and the tricky broadcasting logic lives in tested library code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def _reshape_for_dim(a: np.ndarray, i: int, ndim: int) -> np.ndarray:
+    """Reshape a 1-D per-dimension index array for outer-product
+    broadcasting over an ndim-D region."""
+    shape = [1] * ndim
+    shape[i] = -1
+    return a.reshape(shape)
+
+
+def gather_remap(
+    data: np.ndarray,
+    slot: int,
+    coords: Sequence[np.ndarray],
+    modes: Sequence[str],
+    sizes: Sequence[int],
+) -> np.ndarray:
+    """Gather with per-dimension coordinate remapping.
+
+    ``coords[i]`` holds the absolute (possibly off-domain) read
+    coordinates along dimension i; ``modes[i]`` is ``"mod"`` (periodic)
+    or ``"clip"`` (Neumann clamp).
+    """
+    ndim = len(coords)
+    idx = []
+    for i, (c, mode, n) in enumerate(zip(coords, modes, sizes)):
+        mapped = c % n if mode == "mod" else np.clip(c, 0, n - 1)
+        idx.append(_reshape_for_dim(mapped, i, ndim))
+    return data[(slot, *idx)]
+
+
+def gather_fill(
+    data: np.ndarray,
+    slot: int,
+    coords: Sequence[np.ndarray],
+    sizes: Sequence[int],
+    fill: float,
+) -> np.ndarray:
+    """Gather with a scalar fill for off-domain coordinates (Dirichlet)."""
+    ndim = len(coords)
+    idx = []
+    mask: np.ndarray | None = None
+    for i, (c, n) in enumerate(zip(coords, sizes)):
+        in_range = _reshape_for_dim((c >= 0) & (c < n), i, ndim)
+        clipped = _reshape_for_dim(np.clip(c, 0, n - 1), i, ndim)
+        idx.append(clipped)
+        mask = in_range if mask is None else (mask & in_range)
+    values = data[(slot, *idx)]
+    assert mask is not None
+    return np.where(mask, values, fill)
+
+
+def gather_const(
+    values: np.ndarray, indices: Sequence[np.ndarray | int]
+) -> np.ndarray:
+    """Clamped gather from a read-only const array.
+
+    ``indices`` are broadcastable integer arrays (or scalars), one per
+    const-array dimension; each is clamped into range, matching the
+    clamped semantics of :meth:`repro.language.array.ConstArray.read`.
+    """
+    clamped = []
+    for ix, n in zip(indices, values.shape):
+        clamped.append(np.clip(ix, 0, n - 1))
+    broadcast = np.broadcast_arrays(*clamped) if len(clamped) > 1 else clamped
+    return values[tuple(broadcast)]
+
+
+def scatter_write(
+    data: np.ndarray,
+    slot: int,
+    coords: Sequence[np.ndarray],
+    value: np.ndarray | float,
+) -> None:
+    """Scatter a region result to (possibly wrapped) true coordinates."""
+    ndim = len(coords)
+    idx = tuple(_reshape_for_dim(c, i, ndim) for i, c in enumerate(coords))
+    shape = tuple(len(c) for c in coords)
+    data[(slot, *idx)] = np.broadcast_to(np.asarray(value, dtype=data.dtype), shape)

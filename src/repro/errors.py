@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro (Pochoir reproduction) package.
+
+The paper's *Pochoir Guarantee* promises that a program accepted by the
+Phase-1 template library will compile and run under the Phase-2 compiler.
+To honor that contract the two phases must reject exactly the same class of
+programs, so both raise subclasses of :class:`PochoirError` with stable,
+documented meanings.
+"""
+
+from __future__ import annotations
+
+
+class PochoirError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SpecificationError(PochoirError):
+    """The stencil specification is malformed.
+
+    Raised for errors that are detectable from the declaration alone:
+    an invalid shape (e.g. home cell with nonzero spatial offsets, a cell
+    at a future time), registering arrays of mismatched dimensionality,
+    running a stencil with no kernel, and similar misuse of the language
+    objects in :mod:`repro.language`.
+    """
+
+
+class ShapeViolationError(PochoirError):
+    """A kernel access fell outside the declared Pochoir shape.
+
+    The Phase-1 checked interpreter raises this when the kernel reads a
+    grid point whose (time, space) offset from the home cell is not listed
+    in the declared :class:`repro.language.Shape`; the Phase-2 compiler
+    raises it statically while extracting offsets from the kernel AST.
+    """
+
+
+class BoundaryError(PochoirError):
+    """An off-domain access occurred with no boundary function registered,
+    or a boundary function itself misbehaved (wrong arity, non-scalar
+    return, access outside its contract)."""
+
+
+class KernelError(PochoirError):
+    """The kernel body is not expressible in the Pochoir language.
+
+    Examples: a grid subscript that is not ``axis + constant``; a write to
+    a non-home spatial offset; a read of the written time level at a
+    nonzero spatial offset (which would make vectorized execution diverge
+    from per-point execution); use of an unregistered array.
+    """
+
+
+class CompileError(PochoirError):
+    """The Phase-2 compiler failed to generate or build a kernel clone.
+
+    For the C backend this wraps toolchain failures (missing compiler,
+    non-zero exit); for the NumPy/Python backends it wraps codegen bugs so
+    callers can fall back to a slower mode, mirroring how the Pochoir
+    compiler falls back from ``-split-pointer`` to ``-split-macro-shadow``.
+    """
+
+
+class ExecutionError(PochoirError):
+    """An executor detected an inconsistent runtime state (e.g. a plan node
+    scheduled before its dependency level, or a base-case region outside
+    the array's virtual coordinate range)."""
+
+
+class AutotuneError(PochoirError):
+    """The autotuner was given an empty or infeasible search space."""

@@ -1,0 +1,108 @@
+"""The Pochoir expression DSL: AST nodes, builder operators, and analyses.
+
+The original Pochoir embeds its stencil language in C++ and treats the
+kernel body as mostly-uninterpreted text, extracting only the array
+accesses it must transform.  The Python analogue builds a small expression
+AST by operator overloading: evaluating the user's kernel function once
+with symbolic index objects records every grid access and arithmetic
+operation, giving the compiler (``repro.compiler``) a faithful structured
+view of the kernel.
+
+Public surface:
+
+* :class:`Axis`, :class:`AffineIndex` — symbolic space-time indices.
+* Expression nodes (:class:`Const`, :class:`GridRead`, :class:`BinOp`, …)
+  and statements (:class:`Assign`, :class:`Let`).
+* Builder helpers — :func:`where`, :func:`eq_`, :func:`ne_`,
+  :func:`minimum`, :func:`maximum`, :func:`fmath`, :func:`let`,
+  :func:`local`.
+* Analyses — :func:`repro.expr.analysis.kernel_accesses`,
+  :func:`repro.expr.analysis.infer_shape`, slope/depth computation.
+"""
+
+from repro.expr.nodes import (
+    AffineIndex,
+    Assign,
+    Axis,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    ConstArrayRead,
+    Expr,
+    GridRead,
+    GridWrite,
+    IndexValue,
+    Let,
+    LocalRead,
+    NotOp,
+    Param,
+    Statement,
+    UnOp,
+    Where,
+    as_expr,
+)
+from repro.expr.builder import (
+    eq_,
+    fmath,
+    let,
+    local,
+    maximum,
+    minimum,
+    ne_,
+    where,
+)
+from repro.expr.analysis import (
+    KernelAccessSummary,
+    infer_shape,
+    kernel_accesses,
+    normalize_statements,
+    validate_kernel,
+)
+from repro.expr.evalexpr import EvalEnv, eval_expr, eval_statements
+from repro.expr.printer import to_source
+from repro.expr.transform import fold_constants, substitute_params
+
+__all__ = [
+    "AffineIndex",
+    "Assign",
+    "Axis",
+    "BinOp",
+    "BoolOp",
+    "Call",
+    "Compare",
+    "Const",
+    "ConstArrayRead",
+    "EvalEnv",
+    "Expr",
+    "GridRead",
+    "GridWrite",
+    "IndexValue",
+    "KernelAccessSummary",
+    "Let",
+    "LocalRead",
+    "NotOp",
+    "Param",
+    "Statement",
+    "UnOp",
+    "Where",
+    "as_expr",
+    "eq_",
+    "eval_expr",
+    "eval_statements",
+    "fmath",
+    "fold_constants",
+    "infer_shape",
+    "kernel_accesses",
+    "let",
+    "local",
+    "maximum",
+    "minimum",
+    "ne_",
+    "normalize_statements",
+    "substitute_params",
+    "to_source",
+    "validate_kernel",
+    "where",
+]

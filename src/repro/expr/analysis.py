@@ -1,0 +1,290 @@
+"""Static analyses over kernel ASTs: access extraction, shape inference,
+validation, and time normalization.
+
+The paper's compiler "cannot infer the stencil shape from the kernel,
+because the kernel can be arbitrary code" — our kernels are structured
+ASTs, so we *can* infer the exact footprint, and we use that both ways:
+
+* **validate** the kernel against a user-declared shape (the Phase-1
+  compliance check and the Phase-2 static equivalent), and
+* **infer** a shape when the user declines to declare one, a convenience
+  the C++ system could not offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import KernelError, ShapeViolationError
+from repro.expr.nodes import (
+    Assign,
+    Expr,
+    GridRead,
+    GridWrite,
+    Let,
+    LocalRead,
+    Statement,
+    ConstArrayRead,
+)
+
+
+def walk(expr: Expr) -> Iterable[Expr]:
+    """Yield ``expr`` and every sub-expression, depth first."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+@dataclass
+class KernelAccessSummary:
+    """The complete access footprint of a kernel body.
+
+    ``reads``:  per-array set of (dt, spatial offsets) relative to the
+    normalized home (write at dt=0 … depth-1 reads at negative dt).
+    ``writes``: per-array set of write time offsets (pre-normalization).
+    ``const_reads``: names of read-only coefficient arrays accessed.
+    ``locals_defined`` / ``locals_read``: Let discipline bookkeeping.
+    """
+
+    reads: dict[str, set[tuple[int, tuple[int, ...]]]] = field(default_factory=dict)
+    writes: dict[str, set[int]] = field(default_factory=dict)
+    const_reads: set[str] = field(default_factory=set)
+    locals_defined: list[str] = field(default_factory=list)
+    locals_read: set[str] = field(default_factory=set)
+
+    @property
+    def arrays(self) -> set[str]:
+        return set(self.reads) | set(self.writes)
+
+    def all_cells(self) -> set[tuple[int, tuple[int, ...]]]:
+        """Union of read cells over all arrays, plus the home write cell."""
+        cells: set[tuple[int, tuple[int, ...]]] = set()
+        ndim = self.ndim()
+        for per_array in self.reads.values():
+            cells |= per_array
+        cells.add((0, (0,) * ndim))
+        return cells
+
+    def ndim(self) -> int:
+        for per_array in self.reads.values():
+            for _, offs in per_array:
+                return len(offs)
+        return 0
+
+    def depth(self) -> int:
+        """Number of prior time levels the kernel depends on (>= 1)."""
+        min_dt = 0
+        for per_array in self.reads.values():
+            for dt, _ in per_array:
+                min_dt = min(min_dt, dt)
+        return max(1, -min_dt)
+
+    def slopes(self) -> tuple[int, ...]:
+        """Per-dimension stencil slope sigma_i = max ceil(|off_i| / -dt).
+
+        Matches the paper's definition with the home at dt=0 and reads at
+        dt < 0.  Reads at dt == 0 (same-time, offset 0 only — enforced by
+        validation) contribute nothing.
+        """
+        ndim = self.ndim()
+        sig = [0] * ndim
+        for per_array in self.reads.values():
+            for dt, offs in per_array:
+                if dt >= 0:
+                    continue
+                gap = -dt
+                for i, o in enumerate(offs):
+                    sig[i] = max(sig[i], -((-abs(o)) // gap))
+        return tuple(sig)
+
+    def min_max_offsets(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-dimension (most negative, most positive) read offsets.
+
+        Drives interior/boundary zoid classification and ghost-cell halo
+        widths in the LOOPS baseline.
+        """
+        ndim = self.ndim()
+        lo = [0] * ndim
+        hi = [0] * ndim
+        for per_array in self.reads.values():
+            for _, offs in per_array:
+                for i, o in enumerate(offs):
+                    lo[i] = min(lo[i], o)
+                    hi[i] = max(hi[i], o)
+        return tuple(lo), tuple(hi)
+
+
+def kernel_accesses(stmts: Sequence[Statement]) -> KernelAccessSummary:
+    """Extract the access summary of a raw (pre-normalization) kernel body."""
+    out = KernelAccessSummary()
+    for st in stmts:
+        if isinstance(st, Let):
+            for node in walk(st.expr):
+                _collect(node, out)
+            out.locals_defined.append(st.name)
+        elif isinstance(st, Assign):
+            for node in walk(st.expr):
+                _collect(node, out)
+            out.writes.setdefault(st.target.array, set()).add(st.target.dt)
+        else:
+            raise KernelError(f"unknown statement {type(st).__name__}")
+    return out
+
+
+def _collect(node: Expr, out: KernelAccessSummary) -> None:
+    if isinstance(node, GridRead):
+        out.reads.setdefault(node.array, set()).add((node.dt, node.offsets))
+    elif isinstance(node, ConstArrayRead):
+        out.const_reads.add(node.array)
+    elif isinstance(node, LocalRead):
+        out.locals_read.add(node.name)
+
+
+def normalize_statements(stmts: Sequence[Statement]) -> list[Statement]:
+    """Shift time offsets so every write lands at dt == 0.
+
+    The language lets users write either ``a(t, i) = f(a(t-1, …))`` or
+    ``a(t+1, i) = f(a(t, …))`` (the paper's Rationale section calls this
+    flexibility out explicitly).  Internally everything is canonicalized to
+    the second time frame shifted by −write_dt: writes at 0, reads at
+    negative dt.  All writes in one kernel must share a single time offset,
+    otherwise per-point and region-at-a-time execution could disagree.
+    """
+    write_dts = {st.target.dt for st in stmts if isinstance(st, Assign)}
+    if not write_dts:
+        raise KernelError("kernel body contains no assignment")
+    if len(write_dts) > 1:
+        raise KernelError(
+            f"all writes in a kernel must target one time level; saw offsets "
+            f"{sorted(write_dts)}"
+        )
+    shift = write_dts.pop()
+    from repro.expr.transform import shift_time
+
+    # Apply the rebuild even for shift == 0: it also canonicalizes
+    # front-end GridAccess nodes into plain GridRead nodes, so kernels
+    # written in either time frame produce structurally equal ASTs.
+    return [shift_time(st, -shift) for st in stmts]
+
+
+def infer_shape(stmts: Sequence[Statement]) -> list[tuple[int, ...]]:
+    """Infer the Pochoir shape cells (home-relative) of a normalized kernel.
+
+    Returns cells as ``(dt, off_0, …, off_{d-1})`` tuples with the home
+    cell ``(0, 0, …, 0)`` first, matching the declaration order convention
+    of Section 2.
+    """
+    summary = kernel_accesses(stmts)
+    ndim = summary.ndim()
+    home = (0,) + (0,) * ndim
+    cells = {home}
+    for per_array in summary.reads.values():
+        for dt, offs in per_array:
+            cells.add((dt, *offs))
+    rest = sorted(c for c in cells if c != home)
+    return [home, *rest]
+
+
+def validate_kernel(
+    stmts: Sequence[Statement],
+    *,
+    ndim: int,
+    declared_cells: Sequence[tuple[int, ...]] | None = None,
+    known_arrays: Iterable[str] | None = None,
+    known_const_arrays: Iterable[str] | None = None,
+) -> KernelAccessSummary:
+    """Validate a *normalized* kernel body; return its access summary.
+
+    Enforced rules (each mirrors a rule from Section 2 of the paper):
+
+    1. every grid access has exactly ``ndim`` spatial subscripts;
+    2. writes are to the home cell (all spatial offsets zero) — checked by
+       the front end when it builds :class:`GridWrite`, re-checked here;
+    3. reads at the write time level (dt == 0 after normalization) must be
+       at the home cell, so region-at-a-time execution matches per-point;
+    4. reads never look into the future (dt <= 0);
+    5. locals are defined before use and not redefined;
+    6. accesses stay inside the declared shape, when one is declared;
+    7. only registered arrays are touched, when a registry is supplied.
+    """
+    summary = kernel_accesses(stmts)
+
+    for arr, cells in summary.reads.items():
+        for dt, offs in cells:
+            if len(offs) != ndim:
+                raise KernelError(
+                    f"array {arr!r} accessed with {len(offs)} spatial subscripts "
+                    f"in a {ndim}-D kernel"
+                )
+            if dt > 0:
+                raise ShapeViolationError(
+                    f"read of {arr!r} at future time offset +{dt} "
+                    f"(writes are at offset 0 after normalization)"
+                )
+            if dt == 0 and any(o != 0 for o in offs):
+                raise KernelError(
+                    f"read of {arr!r} at the written time level must be at the "
+                    f"home cell; got spatial offsets {offs}"
+                )
+
+    seen: set[str] = set()
+    for name in summary.locals_defined:
+        if name in seen:
+            raise KernelError(f"local {name!r} let-bound twice")
+        seen.add(name)
+    undefined = summary.locals_read - seen
+    if undefined:
+        raise KernelError(f"locals read but never let-bound: {sorted(undefined)}")
+
+    # A same-level (dt == 0) home read is only meaningful if an earlier
+    # statement of this kernel wrote that array — otherwise the modular time
+    # buffer would expose a stale level.  Walk statements in order.
+    defined_locals: set[str] = set()
+    written_arrays: set[str] = set()
+    for st in stmts:
+        expr = st.expr if isinstance(st, (Let, Assign)) else None
+        if expr is not None:
+            for node in walk(expr):
+                if isinstance(node, GridRead) and node.dt == 0:
+                    if node.array not in written_arrays:
+                        raise KernelError(
+                            f"read of {node.array!r} at the written time level "
+                            f"before any statement writes it; reorder the "
+                            f"kernel statements"
+                        )
+                if isinstance(node, LocalRead) and node.name not in defined_locals:
+                    raise KernelError(
+                        f"local {node.name!r} read before its let-binding"
+                    )
+        if isinstance(st, Let):
+            defined_locals.add(st.name)
+        elif isinstance(st, Assign):
+            written_arrays.add(st.target.array)
+
+    if known_arrays is not None:
+        unknown = summary.arrays - set(known_arrays)
+        if unknown:
+            raise KernelError(
+                f"kernel touches unregistered arrays: {sorted(unknown)}"
+            )
+    if known_const_arrays is not None:
+        unknown = summary.const_reads - set(known_const_arrays)
+        if unknown:
+            raise KernelError(
+                f"kernel reads unregistered const arrays: {sorted(unknown)}"
+            )
+
+    if declared_cells is not None:
+        declared = {tuple(c) for c in declared_cells}
+        for arr, cells in summary.reads.items():
+            for dt, offs in cells:
+                if (dt, *offs) not in declared:
+                    raise ShapeViolationError(
+                        f"kernel reads {arr!r} at cell (dt={dt}, offsets={offs}) "
+                        f"outside the declared shape"
+                    )
+
+    return summary

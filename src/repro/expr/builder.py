@@ -1,0 +1,111 @@
+"""User-facing helpers for building kernel expressions.
+
+These are the spellings a kernel author uses where Python syntax cannot be
+overloaded: elementwise conditionals (:func:`where`), value equality
+(:func:`eq_` / :func:`ne_`, since ``==`` on nodes is structural), min/max,
+math calls (:func:`fmath`), and kernel-local temporaries
+(:func:`let` / :func:`local`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import KernelError
+from repro.expr.nodes import (
+    BinOp,
+    Call,
+    Compare,
+    Expr,
+    Let,
+    LocalRead,
+    MATH_FUNCS,
+    Where,
+    as_expr,
+)
+
+
+def where(cond: object, if_true: object, if_false: object) -> Where:
+    """Elementwise conditional select, like ``numpy.where``.
+
+    >>> from repro.expr.nodes import Const
+    >>> w = where(Const(1.0) > 0, 2.0, 3.0)
+    >>> type(w).__name__
+    'Where'
+    """
+    return Where(as_expr(cond), as_expr(if_true), as_expr(if_false))
+
+
+def eq_(a: object, b: object) -> Compare:
+    """Value-level equality (``==`` on AST nodes is structural equality)."""
+    return Compare("==", as_expr(a), as_expr(b))
+
+
+def ne_(a: object, b: object) -> Compare:
+    """Value-level inequality (``!=`` on AST nodes is structural)."""
+    return Compare("!=", as_expr(a), as_expr(b))
+
+
+def minimum(a: object, b: object, *rest: object) -> Expr:
+    """Elementwise minimum of two or more expressions."""
+    out: Expr = BinOp("min", as_expr(a), as_expr(b))
+    for r in rest:
+        out = BinOp("min", out, as_expr(r))
+    return out
+
+
+def maximum(a: object, b: object, *rest: object) -> Expr:
+    """Elementwise maximum of two or more expressions."""
+    out: Expr = BinOp("max", as_expr(a), as_expr(b))
+    for r in rest:
+        out = BinOp("max", out, as_expr(r))
+    return out
+
+
+class _MathNamespace:
+    """``fmath.exp(e)``, ``fmath.sqrt(e)``, … — the supported math calls."""
+
+    def __getattr__(self, name: str):
+        if name not in MATH_FUNCS:
+            raise KernelError(
+                f"unsupported math function {name!r}; supported: {MATH_FUNCS}"
+            )
+
+        def call(*args: object) -> Call:
+            return Call(name, tuple(as_expr(a) for a in args))
+
+        call.__name__ = name
+        return call
+
+
+#: Math-function namespace: ``fmath.exp(u(t, x))`` etc.
+fmath = _MathNamespace()
+
+
+def let(name: str, expr: object) -> Let:
+    """Bind a kernel-local temporary; later statements read it via
+    :func:`local`.
+
+    The pair models the local variables a C++ Pochoir kernel would declare
+    (LBM kernels lean on them heavily).
+    """
+    if not name.isidentifier():
+        raise KernelError(f"let-binding name must be an identifier, got {name!r}")
+    return Let(name, as_expr(expr))
+
+
+def local(name: str) -> LocalRead:
+    """Read a temporary previously bound with :func:`let`."""
+    return LocalRead(name)
+
+
+def sum_of(exprs: Iterable[object]) -> Expr:
+    """Sum an iterable of expressions (at least one required)."""
+    it = iter(exprs)
+    try:
+        out = as_expr(next(it))
+    except StopIteration:
+        raise KernelError("sum_of requires at least one expression") from None
+    for e in it:
+        out = out + as_expr(e)
+    return out

@@ -1,0 +1,194 @@
+"""A tree-walking evaluator for kernel expression ASTs.
+
+This is the execution engine of the *Phase-1 template library*: it runs a
+kernel one grid point at a time through checked array accessors, which is
+slow but validates every access against the declared shape — exactly the
+role the C++ template library plays in the paper's two-phase strategy.
+The compiled backends in :mod:`repro.compiler` must agree with it bit for
+bit; the test suite enforces that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ExecutionError, KernelError
+from repro.expr.nodes import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    ConstArrayRead,
+    Expr,
+    GridRead,
+    IndexValue,
+    Let,
+    LocalRead,
+    NotOp,
+    Param,
+    Statement,
+    UnOp,
+    Where,
+)
+
+#: Reader callback: (array_name, dt, absolute_point) -> float
+GridReader = Callable[[str, int, tuple[int, ...]], float]
+#: Writer callback: (array_name, dt, absolute_point, value) -> None
+GridWriter = Callable[[str, int, tuple[int, ...], float], None]
+#: Const-array reader: (array_name, absolute_indices) -> float
+ConstReader = Callable[[str, tuple[int, ...]], float]
+
+_MATH_IMPL: Mapping[str, Callable[..., float]] = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tanh": math.tanh,
+    "fabs": math.fabs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+
+@dataclass
+class EvalEnv:
+    """Evaluation context for one grid point.
+
+    ``t`` and ``point`` are the absolute home coordinates; ``read`` /
+    ``write`` / ``read_const`` route grid accesses (the checked accessors
+    of :class:`repro.language.PochoirArray` in Phase 1); ``params`` binds
+    :class:`Param` nodes; ``locals`` accumulates :class:`Let` bindings.
+    """
+
+    t: int
+    point: tuple[int, ...]
+    read: GridReader
+    write: GridWriter
+    read_const: ConstReader | None = None
+    params: Mapping[str, float] = field(default_factory=dict)
+    locals: dict[str, float] = field(default_factory=dict)
+
+    def affine_value(self, idx: AffineIndex) -> int:
+        total = idx.const
+        for ax, c in idx.terms:
+            if ax.is_time:
+                total += c * self.t
+            else:
+                if ax.position >= len(self.point):
+                    raise ExecutionError(
+                        f"axis {ax.name} (dim {ax.position}) out of range for "
+                        f"{len(self.point)}-D point"
+                    )
+                total += c * self.point[ax.position]
+        return total
+
+
+def eval_expr(expr: Expr, env: EvalEnv) -> float:
+    """Evaluate ``expr`` at the point described by ``env``.
+
+    Booleans are represented as 1.0/0.0, matching both the NumPy backend
+    (where they are boolean arrays consumed by ``where``) and C (ints).
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Param):
+        try:
+            return float(env.params[expr.name])
+        except KeyError:
+            raise ExecutionError(f"unbound parameter {expr.name!r}") from None
+    if isinstance(expr, IndexValue):
+        return float(env.affine_value(expr.index))
+    if isinstance(expr, GridRead):
+        pt = tuple(p + o for p, o in zip(env.point, expr.offsets))
+        return env.read(expr.array, expr.dt, pt)
+    if isinstance(expr, ConstArrayRead):
+        if env.read_const is None:
+            raise ExecutionError(
+                f"kernel reads const array {expr.array!r} but none registered"
+            )
+        idx = tuple(env.affine_value(i) for i in expr.indices)
+        return env.read_const(expr.array, idx)
+    if isinstance(expr, LocalRead):
+        try:
+            return env.locals[expr.name]
+        except KeyError:
+            raise ExecutionError(
+                f"local {expr.name!r} read before let-binding"
+            ) from None
+    if isinstance(expr, BinOp):
+        a = eval_expr(expr.left, env)
+        b = eval_expr(expr.right, env)
+        op = expr.op
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return a / b
+        if op == "%":
+            return math.fmod(a, b)
+        if op == "**":
+            return a**b
+        if op == "min":
+            return min(a, b)
+        if op == "max":
+            return max(a, b)
+        raise KernelError(f"unknown binop {op!r}")
+    if isinstance(expr, UnOp):
+        v = eval_expr(expr.operand, env)
+        return -v if expr.op == "neg" else abs(v)
+    if isinstance(expr, Compare):
+        a = eval_expr(expr.left, env)
+        b = eval_expr(expr.right, env)
+        op = expr.op
+        result = (
+            a < b
+            if op == "<"
+            else a <= b
+            if op == "<="
+            else a > b
+            if op == ">"
+            else a >= b
+            if op == ">="
+            else a == b
+            if op == "=="
+            else a != b
+        )
+        return 1.0 if result else 0.0
+    if isinstance(expr, BoolOp):
+        a = eval_expr(expr.left, env)
+        b = eval_expr(expr.right, env)
+        if expr.op == "and":
+            return 1.0 if (a != 0.0 and b != 0.0) else 0.0
+        return 1.0 if (a != 0.0 or b != 0.0) else 0.0
+    if isinstance(expr, NotOp):
+        return 0.0 if eval_expr(expr.operand, env) != 0.0 else 1.0
+    if isinstance(expr, Where):
+        if eval_expr(expr.cond, env) != 0.0:
+            return eval_expr(expr.if_true, env)
+        return eval_expr(expr.if_false, env)
+    if isinstance(expr, Call):
+        args = [eval_expr(a, env) for a in expr.args]
+        return float(_MATH_IMPL[expr.func](*args))
+    raise KernelError(f"cannot evaluate node {type(expr).__name__}")
+
+
+def eval_statements(stmts: Sequence[Statement], env: EvalEnv) -> None:
+    """Execute a kernel body (Let/Assign sequence) for one grid point."""
+    env.locals.clear()
+    for st in stmts:
+        if isinstance(st, Let):
+            env.locals[st.name] = eval_expr(st.expr, env)
+        elif isinstance(st, Assign):
+            value = eval_expr(st.expr, env)
+            env.write(st.target.array, st.target.dt, env.point, value)
+        else:
+            raise KernelError(f"unknown statement {type(st).__name__}")

@@ -1,0 +1,126 @@
+"""Pretty-printer for kernel ASTs (diagnostics and error messages).
+
+``to_source`` renders an expression as near-Python text; it is *not* the
+codegen path (see :mod:`repro.compiler.codegen_python` /
+``codegen_numpy`` / ``codegen_c`` for those), just a stable human-readable
+form used in reprs, error messages and tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.expr.nodes import (
+    Assign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    ConstArrayRead,
+    Expr,
+    GridRead,
+    IndexValue,
+    Let,
+    LocalRead,
+    NotOp,
+    Param,
+    Statement,
+    UnOp,
+    Where,
+)
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "==": 4,
+    "!=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+    "neg": 7,
+    "**": 8,
+}
+
+
+def _paren(text: str, inner: int, outer: int) -> str:
+    return f"({text})" if inner < outer else text
+
+
+def to_source(expr: Expr, _outer: int = 0) -> str:
+    """Render an expression to readable near-Python text."""
+    if isinstance(expr, Const):
+        v = expr.value
+        return str(int(v)) if v == int(v) and abs(v) < 1e15 else repr(v)
+    if isinstance(expr, Param):
+        return f"${expr.name}"
+    if isinstance(expr, IndexValue):
+        return repr(expr.index)
+    if isinstance(expr, LocalRead):
+        return expr.name
+    if isinstance(expr, GridRead):
+        subs = ["t" if expr.dt == 0 else f"t{expr.dt:+d}"]
+        axis_names = "xyzw"
+        for i, o in enumerate(expr.offsets):
+            ax = axis_names[i] if i < 4 else f"x{i}"
+            subs.append(ax if o == 0 else f"{ax}{o:+d}")
+        return f"{expr.array}({', '.join(subs)})"
+    if isinstance(expr, ConstArrayRead):
+        subs = ", ".join(repr(i) for i in expr.indices)
+        return f"{expr.array}[{subs}]"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return (
+                f"{expr.op}({to_source(expr.left)}, {to_source(expr.right)})"
+            )
+        p = _PRECEDENCE[expr.op]
+        left = to_source(expr.left, p)
+        right = to_source(expr.right, p + 1)  # left-assoc
+        return _paren(f"{left} {expr.op} {right}", p, _outer)
+    if isinstance(expr, UnOp):
+        if expr.op == "abs":
+            return f"abs({to_source(expr.operand)})"
+        p = _PRECEDENCE["neg"]
+        return _paren(f"-{to_source(expr.operand, p)}", p, _outer)
+    if isinstance(expr, Compare):
+        p = _PRECEDENCE[expr.op]
+        return _paren(
+            f"{to_source(expr.left, p)} {expr.op} {to_source(expr.right, p)}",
+            p,
+            _outer,
+        )
+    if isinstance(expr, BoolOp):
+        p = _PRECEDENCE[expr.op]
+        return _paren(
+            f"{to_source(expr.left, p)} {expr.op} {to_source(expr.right, p)}",
+            p,
+            _outer,
+        )
+    if isinstance(expr, NotOp):
+        p = _PRECEDENCE["not"]
+        return _paren(f"not {to_source(expr.operand, p)}", p, _outer)
+    if isinstance(expr, Where):
+        return (
+            f"where({to_source(expr.cond)}, {to_source(expr.if_true)}, "
+            f"{to_source(expr.if_false)})"
+        )
+    if isinstance(expr, Call):
+        args = ", ".join(to_source(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise KernelError(f"cannot print node {type(expr).__name__}")
+
+
+def statement_source(st: Statement) -> str:
+    """Render a statement to readable text."""
+    if isinstance(st, Let):
+        return f"{st.name} = {to_source(st.expr)}"
+    if isinstance(st, Assign):
+        t = "t" if st.target.dt == 0 else f"t{st.target.dt:+d}"
+        return f"{st.target.array}({t}, .) = {to_source(st.expr)}"
+    raise KernelError(f"unknown statement {type(st).__name__}")

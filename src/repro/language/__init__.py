@@ -1,0 +1,58 @@
+"""The Pochoir specification language, embedded in Python.
+
+This package is the analogue of the constructs in Section 2 of the paper:
+
+=====================================  =======================================
+Paper construct                        repro equivalent
+=====================================  =======================================
+``Pochoir_Shape_dimD name[] = {...}``  :class:`Shape` (list of cells)
+``Pochoir_dimD name(shape)``           :class:`Stencil`
+``Pochoir_Array_dimD(type) u(...)``    :class:`PochoirArray`
+``Pochoir_Boundary_dimD ...``          :mod:`repro.language.boundary` kinds
+``Pochoir_Kernel_dimD ...``            :class:`Kernel`
+``name.Register_Array(array)``         :meth:`Stencil.register_array`
+``name.Register_Boundary(bdry)``       :meth:`PochoirArray.register_boundary`
+``name.Run(T, kern)``                  :meth:`Stencil.run`
+=====================================  =======================================
+
+Phase 1 of the two-phase strategy is :func:`repro.language.phase1.run_phase1`
+— a checked, loop-based interpreter that validates every kernel access
+against the declared shape (the template library's job in the paper).
+Phase 2 is :meth:`Stencil.run`, which compiles and executes through
+:mod:`repro.compiler` and :mod:`repro.trap`.
+"""
+
+from repro.language.shape import Shape
+from repro.language.array import ConstArray, PochoirArray
+from repro.language.boundary import (
+    Boundary,
+    ConstantBoundary,
+    DirichletBoundary,
+    MixedBoundary,
+    NeumannBoundary,
+    PeriodicBoundary,
+    PythonBoundary,
+    ZeroBoundary,
+)
+from repro.language.kernel import Kernel
+from repro.language.stencil import RunOptions, RunReport, Stencil
+from repro.language.phase1 import run_phase1
+
+__all__ = [
+    "Boundary",
+    "ConstArray",
+    "ConstantBoundary",
+    "DirichletBoundary",
+    "Kernel",
+    "MixedBoundary",
+    "NeumannBoundary",
+    "PeriodicBoundary",
+    "PochoirArray",
+    "PythonBoundary",
+    "RunOptions",
+    "RunReport",
+    "Shape",
+    "Stencil",
+    "ZeroBoundary",
+    "run_phase1",
+]

@@ -1,0 +1,135 @@
+"""Kernel functions: the update rule applied at every space-time point.
+
+``Kernel(ndim, fn)`` wraps a user function of signature
+``fn(t, x0, …, x_{ndim-1}) -> Statement | list[Statement]``.  Building the
+kernel calls ``fn`` exactly once with symbolic axes, recording the
+statements it constructs — the Python analogue of the paper's
+``Pochoir_Kernel_dimD … Pochoir_Kernel_End`` block, with the difference
+that the recorded AST is fully structured rather than uninterpreted text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import KernelError
+from repro.expr.analysis import (
+    KernelAccessSummary,
+    infer_shape,
+    kernel_accesses,
+    normalize_statements,
+)
+from repro.expr.nodes import Assign, Axis, Let, Statement, TIME_AXIS
+from repro.expr.printer import statement_source
+
+_AXIS_NAMES = "xyzw"
+
+
+def make_axes(ndim: int) -> tuple[Axis, ...]:
+    """Fresh symbolic axes ``(t, x, y, …)`` for an ndim-D kernel."""
+    if ndim < 1:
+        raise KernelError(f"kernels need >= 1 spatial dimension, got {ndim}")
+    spatial = tuple(
+        Axis(_AXIS_NAMES[i] if i < len(_AXIS_NAMES) else f"x{i}", i)
+        for i in range(ndim)
+    )
+    return (Axis("t", TIME_AXIS), *spatial)
+
+
+@dataclass(frozen=True)
+class BuiltKernel:
+    """The immutable result of tracing a kernel function once.
+
+    ``statements`` are time-normalized (writes at dt == 0, reads at
+    negative dt); ``raw_statements`` preserve the user's chosen time frame.
+    """
+
+    ndim: int
+    name: str
+    statements: tuple[Statement, ...]
+    raw_statements: tuple[Statement, ...]
+    summary: KernelAccessSummary
+
+    def inferred_cells(self) -> list[tuple[int, ...]]:
+        """Home-relative shape cells actually used by this kernel."""
+        return infer_shape(self.statements)
+
+    def source(self) -> str:
+        """Readable rendering of the kernel body (diagnostics)."""
+        return "\n".join(statement_source(s) for s in self.statements)
+
+
+class Kernel:
+    """A stencil kernel specification (see module docstring).
+
+    >>> from repro.language.array import PochoirArray
+    >>> u = PochoirArray("u", (8,))
+    >>> k = Kernel(1, lambda t, x: u(t+1, x) << 0.5 * (u(t, x-1) + u(t, x+1)))
+    >>> built = k.build()
+    >>> built.summary.slopes()
+    (1,)
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        fn: Callable[..., object],
+        *,
+        name: str | None = None,
+    ):
+        self.ndim = int(ndim)
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "kernel")
+        if self.name == "<lambda>":
+            self.name = "kernel"
+        self._built: BuiltKernel | None = None
+
+    def build(self) -> BuiltKernel:
+        """Trace the kernel function once; cached thereafter."""
+        if self._built is not None:
+            return self._built
+        axes = make_axes(self.ndim)
+        result = self.fn(*axes)
+        raw = _coerce_statements(result, self.name)
+        statements = tuple(normalize_statements(raw))
+        summary = kernel_accesses(statements)
+        if summary.ndim() not in (0, self.ndim):
+            raise KernelError(
+                f"kernel {self.name!r} declared {self.ndim}-D but accesses "
+                f"{summary.ndim()}-D arrays"
+            )
+        self._built = BuiltKernel(
+            ndim=self.ndim,
+            name=self.name,
+            statements=statements,
+            raw_statements=tuple(raw),
+            summary=summary,
+        )
+        return self._built
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name!r}, ndim={self.ndim})"
+
+
+def _coerce_statements(result: object, name: str) -> list[Statement]:
+    if isinstance(result, Statement):
+        return [result]
+    if isinstance(result, Sequence) and not isinstance(result, (str, bytes)):
+        stmts: list[Statement] = []
+        for item in result:
+            if not isinstance(item, Statement):
+                raise KernelError(
+                    f"kernel {name!r} returned a non-statement {item!r}; did "
+                    f"you forget '<<' on an assignment?"
+                )
+            stmts.append(item)
+        if not stmts:
+            raise KernelError(f"kernel {name!r} returned no statements")
+        if not any(isinstance(s, Assign) for s in stmts):
+            raise KernelError(f"kernel {name!r} contains no assignment")
+        return stmts
+    raise KernelError(
+        f"kernel {name!r} must return a statement or list of statements, "
+        f"got {type(result).__name__}"
+    )

@@ -1,0 +1,75 @@
+"""Phase 1 of the two-phase Pochoir strategy: the checked interpreter.
+
+In the paper, Phase 1 compiles the user's program against the Pochoir
+*template library*, which executes the stencil with unoptimized but
+functionally correct loop code while verifying Pochoir compliance — in
+particular that every kernel access falls inside the declared shape.  This
+module is that library: :func:`run_phase1` executes the kernel one grid
+point at a time through checked accessors, raising
+:class:`~repro.errors.ShapeViolationError` on the first undeclared access
+and routing off-domain reads through the registered boundary functions.
+
+Every compiled backend must agree with this interpreter bit for bit; the
+integration tests enforce exactly that, which is how the repo honors the
+Pochoir Guarantee.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import TYPE_CHECKING
+
+from repro.errors import ShapeViolationError, SpecificationError
+from repro.expr.evalexpr import EvalEnv, eval_statements
+from repro.language.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.language.stencil import Stencil
+
+
+def run_phase1(stencil: "Stencil", steps: int, kernel: Kernel) -> None:
+    """Run ``steps`` time steps through the checked template-library path.
+
+    Identical observable semantics to :meth:`Stencil.run`; slower by
+    orders of magnitude, by design — its job is verification and
+    debugging, not speed.
+    """
+    problem = stencil.prepare(steps, kernel)
+    shape = problem.shape
+    arrays = problem.arrays
+    sizes = problem.sizes
+
+    def read(name: str, dt: int, point: tuple[int, ...]) -> float:
+        arr = arrays[name]
+        offsets = tuple(p - h for p, h in zip(point, env.point))
+        if not shape.contains(dt, offsets):
+            raise ShapeViolationError(
+                f"kernel read {name!r} at cell (dt={dt}, offsets={offsets}) "
+                f"outside the declared shape {list(shape.cells)}"
+            )
+        return arr.read_at(env.t + dt, point)
+
+    def write(name: str, dt: int, point: tuple[int, ...], value: float) -> None:
+        arrays[name].write_at(env.t + dt, point, value)
+
+    def read_const(name: str, indices: tuple[int, ...]) -> float:
+        return problem.const_arrays[name].read(indices)
+
+    env = EvalEnv(
+        t=0,
+        point=(0,) * len(sizes),
+        read=read,
+        write=write,
+        read_const=read_const,
+        params=problem.params,
+    )
+
+    ranges = [range(n) for n in sizes]
+    for t_out in range(problem.t_start, problem.t_end):
+        env.t = t_out
+        for point in product(*ranges):
+            env.point = point
+            eval_statements(problem.statements, env)
+        for arr in arrays.values():
+            arr.note_written_through(t_out)
+    stencil.advance_cursor(problem)

@@ -1,0 +1,140 @@
+"""Pochoir shapes: the declared space-time footprint of a stencil kernel.
+
+A shape is a list of cells, each ``(dt, off_0, …, off_{d-1})``.  Following
+Section 2 of the paper, the first cell is the *home cell* whose spatial
+coordinates are all zero; every other cell must have a time offset
+strictly smaller than the home's.  Internally cells are normalized so the
+home sits at time offset 0, i.e. reads live at negative dt — this matches
+the normalized kernel ASTs of :mod:`repro.expr.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Shape:
+    """An immutable, normalized stencil shape.
+
+    >>> s = Shape.from_cells([(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0),
+    ...                       (0, 0, 1), (0, 0, -1)])
+    >>> s.ndim, s.depth, s.slopes
+    (2, 1, (1, 1))
+    """
+
+    cells: tuple[tuple[int, ...], ...]  # normalized: home == (0, 0, ..., 0)
+    ndim: int
+
+    @staticmethod
+    def from_cells(cells: Sequence[Sequence[int]]) -> "Shape":
+        """Build a shape from declaration-order cells (home first).
+
+        Accepts either convention seen in the paper — home at ``t+1``
+        reading ``t`` (Figure 6) or home at ``t`` reading ``t-1``
+        (Section 2) — and normalizes to home-at-zero.
+        """
+        if not cells:
+            raise SpecificationError("a shape needs at least the home cell")
+        raw = [tuple(int(c) for c in cell) for cell in cells]
+        ndim = len(raw[0]) - 1
+        if ndim < 1:
+            raise SpecificationError(
+                f"shape cells need a time plus >=1 spatial coordinate, got {raw[0]}"
+            )
+        for cell in raw:
+            if len(cell) != ndim + 1:
+                raise SpecificationError(
+                    f"inconsistent cell arity in shape: {cell} vs {ndim + 1} coords"
+                )
+        home = raw[0]
+        if any(o != 0 for o in home[1:]):
+            raise SpecificationError(
+                f"home cell (first in the shape) must have zero spatial "
+                f"coordinates, got {home}"
+            )
+        t_home = home[0]
+        normalized = []
+        seen: set[tuple[int, ...]] = set()
+        for cell in raw:
+            norm = (cell[0] - t_home, *cell[1:])
+            if norm in seen:
+                continue
+            seen.add(norm)
+            normalized.append(norm)
+        for cell in normalized[1:]:
+            if cell[0] >= 0 and any(o != 0 for o in cell[1:]):
+                raise SpecificationError(
+                    f"non-home cell {cell} must be at a strictly earlier time "
+                    f"than the home cell (read-only history)"
+                )
+            if cell[0] > 0:
+                raise SpecificationError(
+                    f"non-home cell {cell} lies in the future of the home cell"
+                )
+        return Shape(cells=tuple(normalized), ndim=ndim)
+
+    @property
+    def depth(self) -> int:
+        """Number of prior time levels the stencil depends on (k >= 1).
+
+        The user must initialize levels 0..k-1 before running (Section 2).
+        """
+        min_dt = min((c[0] for c in self.cells), default=0)
+        return max(1, -min_dt)
+
+    @property
+    def slopes(self) -> tuple[int, ...]:
+        """Per-dimension slope sigma_i = max over cells ceil(|off_i| / -dt)."""
+        sig = [0] * self.ndim
+        for cell in self.cells[1:]:
+            dt = cell[0]
+            if dt >= 0:
+                continue
+            gap = -dt
+            for i, o in enumerate(cell[1:]):
+                sig[i] = max(sig[i], -((-abs(o)) // gap))
+        return tuple(sig)
+
+    @property
+    def min_max_offsets(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-dim (most negative, most positive) spatial offsets over cells."""
+        lo = [0] * self.ndim
+        hi = [0] * self.ndim
+        for cell in self.cells:
+            for i, o in enumerate(cell[1:]):
+                lo[i] = min(lo[i], o)
+                hi[i] = max(hi[i], o)
+        return tuple(lo), tuple(hi)
+
+    def contains(self, dt: int, offsets: Sequence[int]) -> bool:
+        """True iff (dt, offsets) is a declared cell (home-relative)."""
+        return (dt, *offsets) in self.cells
+
+    def union(self, other: "Shape") -> "Shape":
+        """Smallest shape containing both (for multi-kernel stencils)."""
+        if other.ndim != self.ndim:
+            raise SpecificationError(
+                f"cannot union shapes of dims {self.ndim} and {other.ndim}"
+            )
+        home = (0,) * (self.ndim + 1)
+        rest = sorted(
+            (set(self.cells) | set(other.cells)) - {home}
+        )
+        return Shape(cells=(home, *rest), ndim=self.ndim)
+
+    @staticmethod
+    def infer_from(cells: Iterable[tuple[int, ...]], ndim: int) -> "Shape":
+        """Build a shape from inferred (dt, offsets) cells (home-relative)."""
+        home = (0,) * (ndim + 1)
+        rest = sorted(set(tuple(c) for c in cells) - {home})
+        return Shape(cells=(home, *rest), ndim=ndim)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return f"Shape(ndim={self.ndim}, depth={self.depth}, cells={list(self.cells)})"

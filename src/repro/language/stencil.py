@@ -1,0 +1,320 @@
+"""The Pochoir stencil object: registration, validation, and execution.
+
+``Stencil`` is the paper's ``Pochoir_dimD`` object.  It holds the static
+information — shape, registered arrays, boundary associations, scalar
+parameters — and its :meth:`Stencil.run` drives Phase 2: kernel AST
+validation, clone compilation (:mod:`repro.compiler`), trapezoidal
+decomposition (:mod:`repro.trap`), and execution.
+
+The time convention follows Section 2 exactly: for a shape of depth ``k``
+the user initializes levels ``0 .. k-1``; ``run(T, kern)`` then computes
+levels ``k .. T+k-1``, so results live at level ``T + k - 1``; a
+subsequent ``run(T', kern)`` resumes from there.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import SpecificationError
+from repro.expr.analysis import validate_kernel
+from repro.expr.nodes import Statement
+from repro.language.array import ConstArray, PochoirArray
+from repro.language.kernel import BuiltKernel, Kernel
+from repro.language.shape import Shape
+
+
+@dataclass
+class RunOptions:
+    """Tuning knobs for Phase-2 execution.
+
+    ``algorithm``:
+        ``"trap"`` — TRAP with hyperspace cuts (the paper's algorithm);
+        ``"strap"`` — serial space cuts (Frigo–Strumpen style comparison);
+        ``"loops"`` — the parallel-loop baseline of Figure 1;
+        ``"serial_loops"`` — the serial loop baseline;
+        ``"phase1"`` — the checked interpreter (template library).
+    ``mode``:
+        kernel codegen: ``"interp"`` (tree-walking, checked),
+        ``"macro_shadow"`` (generated per-point Python, unchecked interior
+        — the ``-split-macro-shadow`` analogue),
+        ``"split_pointer"`` (vectorized NumPy slice kernels — the
+        ``-split-pointer`` analogue), ``"c"`` (generated C compiled with
+        the system compiler), or ``"auto"`` (best available: C if a
+        toolchain exists and the kernel is expressible, else NumPy).
+    ``dt_threshold`` / ``space_thresholds``:
+        base-case coarsening (Section 4); ``None`` applies the paper's
+        heuristics (2D: 100x100x5; >=3D: never cut the unit-stride
+        dimension, small blocks, 3 time steps).
+    ``executor``:
+        ``"serial"`` (serial elision) or ``"threads"`` (thread pool over
+        dependency levels).
+    """
+
+    algorithm: str = "trap"
+    mode: str = "auto"
+    dt_threshold: int | None = None
+    space_thresholds: tuple[int, ...] | None = None
+    protect_unit_stride: bool | None = None
+    executor: str = "serial"
+    n_workers: int | None = None
+    collect_stats: bool = True
+
+    def __post_init__(self) -> None:
+        algorithms = ("trap", "strap", "loops", "serial_loops", "phase1")
+        if self.algorithm not in algorithms:
+            raise SpecificationError(
+                f"unknown algorithm {self.algorithm!r}; choose from {algorithms}"
+            )
+        modes = ("auto", "interp", "macro_shadow", "split_pointer", "c")
+        if self.mode not in modes:
+            raise SpecificationError(
+                f"unknown mode {self.mode!r}; choose from {modes}"
+            )
+        if self.executor not in ("serial", "threads"):
+            raise SpecificationError(
+                f"unknown executor {self.executor!r}; choose 'serial' or 'threads'"
+            )
+
+
+@dataclass
+class RunReport:
+    """What a Phase-2 run did: timings and decomposition statistics."""
+
+    algorithm: str
+    mode: str
+    t_start: int
+    t_end: int
+    elapsed: float = 0.0
+    points_updated: int = 0
+    base_cases: int = 0
+    boundary_base_cases: int = 0
+    interior_base_cases: int = 0
+
+    @property
+    def points_per_second(self) -> float:
+        return self.points_updated / self.elapsed if self.elapsed > 0 else 0.0
+
+
+@dataclass
+class Problem:
+    """Everything downstream stages need to run one stencil invocation.
+
+    Produced by :meth:`Stencil.prepare`; consumed by the compiler, the
+    walkers and the Phase-1 interpreter.  ``t_start``/``t_end`` are the
+    absolute output levels to compute (``[t_start, t_end)``).
+    """
+
+    ndim: int
+    sizes: tuple[int, ...]
+    shape: Shape
+    statements: tuple[Statement, ...]
+    kernel_name: str
+    arrays: dict[str, PochoirArray]
+    const_arrays: dict[str, ConstArray]
+    params: dict[str, float]
+    t_start: int
+    t_end: int
+
+    @property
+    def steps(self) -> int:
+        return self.t_end - self.t_start
+
+    @property
+    def slopes(self) -> tuple[int, ...]:
+        return self.shape.slopes
+
+    @property
+    def total_points(self) -> int:
+        n = 1
+        for s in self.sizes:
+            n *= s
+        return n * self.steps
+
+
+class Stencil:
+    """The Pochoir object (see module docstring).
+
+    >>> import numpy as np
+    >>> from repro.language import PochoirArray, Kernel, PeriodicBoundary
+    >>> u = PochoirArray("u", (16,)).register_boundary(PeriodicBoundary())
+    >>> heat = Stencil(1)
+    >>> _ = heat.register_array(u)
+    >>> k = Kernel(1, lambda t, x: u(t+1, x) << 0.25*u(t, x-1)
+    ...                            + 0.5*u(t, x) + 0.25*u(t, x+1))
+    >>> u.set_initial(np.arange(16.0))
+    >>> _ = heat.run(4, k)
+    >>> u.snapshot(4).shape
+    (16,)
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        shape: Shape | Sequence[Sequence[int]] | None = None,
+        *,
+        name: str = "stencil",
+    ):
+        if ndim < 1:
+            raise SpecificationError(f"stencil needs >= 1 dimension, got {ndim}")
+        self.ndim = int(ndim)
+        self.name = name
+        if shape is not None and not isinstance(shape, Shape):
+            shape = Shape.from_cells(shape)
+        if shape is not None and shape.ndim != self.ndim:
+            raise SpecificationError(
+                f"shape is {shape.ndim}-D but stencil is {self.ndim}-D"
+            )
+        self.shape: Shape | None = shape
+        self.arrays: dict[str, PochoirArray] = {}
+        self.const_arrays: dict[str, ConstArray] = {}
+        self.params: dict[str, float] = {}
+        #: Last computed time level (None until the first run fixes depth).
+        self.cursor: int | None = None
+
+    # -- registration --------------------------------------------------------
+    def register_array(self, array: PochoirArray) -> "Stencil":
+        if array.ndim != self.ndim:
+            raise SpecificationError(
+                f"array {array.name!r} is {array.ndim}-D but stencil is "
+                f"{self.ndim}-D"
+            )
+        if self.arrays and array.sizes != next(iter(self.arrays.values())).sizes:
+            raise SpecificationError(
+                f"all arrays of one stencil must share spatial sizes; "
+                f"{array.name!r} has {array.sizes}"
+            )
+        if array.name in self.arrays:
+            raise SpecificationError(f"array {array.name!r} registered twice")
+        self.arrays[array.name] = array
+        return self
+
+    Register_Array = register_array
+
+    def register_const_array(self, array: ConstArray) -> "Stencil":
+        if array.name in self.const_arrays or array.name in self.arrays:
+            raise SpecificationError(f"array name {array.name!r} already in use")
+        self.const_arrays[array.name] = array
+        return self
+
+    def set_param(self, name: str, value: float) -> "Stencil":
+        """Bind a scalar :class:`~repro.expr.nodes.Param` for future runs."""
+        self.params[name] = float(value)
+        return self
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        if not self.arrays:
+            raise SpecificationError("no arrays registered")
+        return next(iter(self.arrays.values())).sizes
+
+    # -- preparation (shared by all execution paths) --------------------------
+    def prepare(self, steps: int, kernel: Kernel) -> Problem:
+        """Validate the kernel against this stencil; return the Problem.
+
+        This is the Phase-2 static compliance check: it enforces the same
+        rules the Phase-1 checked interpreter enforces dynamically, which
+        is what makes the Pochoir Guarantee hold.
+        """
+        if steps < 0:
+            raise SpecificationError(f"steps must be >= 0, got {steps}")
+        if not self.arrays:
+            raise SpecificationError("no arrays registered with this stencil")
+        if kernel.ndim != self.ndim:
+            raise SpecificationError(
+                f"kernel {kernel.name!r} is {kernel.ndim}-D but stencil is "
+                f"{self.ndim}-D"
+            )
+        built: BuiltKernel = kernel.build()
+        summary = validate_kernel(
+            built.statements,
+            ndim=self.ndim,
+            declared_cells=self.shape.cells if self.shape else None,
+            known_arrays=self.arrays,
+            known_const_arrays=self.const_arrays,
+        )
+        shape = self.shape or Shape.infer_from(
+            ((dt, *offs) for cells in summary.reads.values() for dt, offs in cells),
+            self.ndim,
+        )
+        for arr in self.arrays.values():
+            if arr.slots < shape.depth + 1:
+                raise SpecificationError(
+                    f"array {arr.name!r} holds {arr.slots} time slots but the "
+                    f"stencil shape has depth {shape.depth} "
+                    f"(needs >= {shape.depth + 1})"
+                )
+        t_start = (self.cursor + 1) if self.cursor is not None else shape.depth
+        return Problem(
+            ndim=self.ndim,
+            sizes=self.sizes,
+            shape=shape,
+            statements=built.statements,
+            kernel_name=built.name,
+            arrays=dict(self.arrays),
+            const_arrays=dict(self.const_arrays),
+            params=dict(self.params),
+            t_start=t_start,
+            t_end=t_start + steps,
+        )
+
+    def advance_cursor(self, problem: Problem) -> None:
+        """Record that levels up to ``problem.t_end - 1`` now exist."""
+        if problem.steps > 0:
+            self.cursor = problem.t_end - 1
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        steps: int,
+        kernel: Kernel,
+        options: RunOptions | None = None,
+        **overrides: object,
+    ) -> RunReport:
+        """Execute ``steps`` time steps of ``kernel`` (Phase 2).
+
+        Keyword overrides are applied on top of ``options``; e.g.
+        ``stencil.run(100, k, algorithm="strap", mode="split_pointer")``.
+        """
+        if options is None:
+            options = RunOptions()
+        if overrides:
+            options = RunOptions(
+                **{**options.__dict__, **overrides}  # type: ignore[arg-type]
+            )
+        if options.algorithm == "phase1":
+            from repro.language.phase1 import run_phase1
+
+            t0 = time.perf_counter()
+            run_phase1(self, steps, kernel)
+            elapsed = time.perf_counter() - t0
+            sizes_prod = 1
+            for s in self.sizes:
+                sizes_prod *= s
+            return RunReport(
+                algorithm="phase1",
+                mode="interp",
+                t_start=(self.cursor or 0) - steps + 1,
+                t_end=(self.cursor or 0) + 1,
+                elapsed=elapsed,
+                points_updated=sizes_prod * steps,
+            )
+
+        from repro.trap.driver import execute_problem
+
+        problem = self.prepare(steps, kernel)
+        report = execute_problem(problem, options)
+        for arr in problem.arrays.values():
+            arr.note_written_through(problem.t_end - 1)
+        self.advance_cursor(problem)
+        return report
+
+    Run = run
+
+    def __repr__(self) -> str:
+        return (
+            f"Stencil({self.name!r}, ndim={self.ndim}, "
+            f"arrays={list(self.arrays)}, cursor={self.cursor})"
+        )

@@ -1,0 +1,21 @@
+"""Cilk-style runtime substrates: work/span analysis and schedulers.
+
+The paper measures scalability with Cilkview (Figure 9), which reports
+*work* (T1) and *span* (T-infinity) of the computation DAG.  We compute
+the same quantities exactly from the same DAG the walkers generate
+(:mod:`repro.runtime.workspan`), and simulate greedy P-processor
+schedules over decomposition plans (:mod:`repro.runtime.scheduler`) to
+produce the "12-core" columns of Figure 3 on hardware that lacks 12
+cores.
+"""
+
+from repro.runtime.workspan import WorkSpan, analyze_loops, analyze_walk
+from repro.runtime.scheduler import brent_time, simulate_greedy
+
+__all__ = [
+    "WorkSpan",
+    "analyze_loops",
+    "analyze_walk",
+    "brent_time",
+    "simulate_greedy",
+]

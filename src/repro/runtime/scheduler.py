@@ -1,0 +1,77 @@
+"""Greedy P-processor schedule simulation over decomposition plans.
+
+The paper's Figure 3 reports 12-core wall times from a work-stealing Cilk
+runtime.  On a host without 12 cores we *simulate* the schedule instead:
+
+* :func:`brent_time` — the classic greedy-scheduler bound
+  ``T_P <= T1/P + T_inf``, evaluated from measured 1-core time and the
+  analyzer's work/span ratio.
+* :func:`simulate_greedy` — list-schedules the actual base-case regions
+  of a plan, wave by wave (waves are the dependency-safe fronts of
+  Lemma 1), yielding a tighter estimate that accounts for load imbalance
+  among unequal zoids — the effect the paper mentions when scheduling 8
+  threads on 12 cores for the Berkeley comparison.
+
+Both are *models*, clearly labeled as such in the benchmark output; the
+threaded executor provides real (2-core here) parallel execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.trap.plan import PlanNode, linearize_waves
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+def brent_time(t1: float, work: float, span: float, processors: int) -> float:
+    """Greedy-scheduler completion-time bound scaled to measured T1.
+
+    ``t1`` is the measured serial wall time; ``work``/``span`` come from
+    the work/span analyzer in abstract units.  The bound is
+    ``T_P <= T1/P + T_inf`` with ``T_inf = t1 * span / work``.
+    """
+    if processors < 1:
+        raise ExecutionError(f"processors must be >= 1, got {processors}")
+    if work <= 0:
+        return 0.0
+    t_inf = t1 * (span / work)
+    return t1 / processors + t_inf
+
+
+def simulate_greedy(plan: PlanNode, processors: int) -> float:
+    """Makespan (in grid-point units) of list-scheduling the plan's base
+    regions onto ``processors`` workers, wave by wave.
+
+    Within each wave, regions are assigned longest-processing-time-first
+    onto the least-loaded worker; waves are separated by barriers, the
+    execution model of :func:`repro.trap.plan.linearize_waves`.
+    """
+    if processors < 1:
+        raise ExecutionError(f"processors must be >= 1, got {processors}")
+    total = 0.0
+    for wave in linearize_waves(plan):
+        costs = sorted((float(r.volume()) for r in wave), reverse=True)
+        if not costs:
+            continue
+        if processors == 1:
+            total += sum(costs)
+            continue
+        loads = [0.0] * min(processors, len(costs))
+        heapq.heapify(loads)
+        for c in costs:
+            lightest = heapq.heappop(loads)
+            heapq.heappush(loads, lightest + c)
+        total += max(loads)
+    return total
+
+
+def simulated_speedup(plan: PlanNode, processors: int) -> float:
+    """T1 / T_P under the greedy wave schedule (unit per-point cost)."""
+    t1 = simulate_greedy(plan, 1)
+    tp = simulate_greedy(plan, processors)
+    return t1 / tp if tp > 0 else 0.0

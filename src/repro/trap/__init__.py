@@ -1,0 +1,45 @@
+"""Trapezoidal decomposition: zoids, cuts, walkers, plans and executors.
+
+This package implements Section 3 of the paper:
+
+* :mod:`repro.trap.zoid` — (d+1)-dimensional space-time hypertrapezoids
+  ("zoids"), their projection trapezoids, widths and well-definedness.
+* :mod:`repro.trap.cuts` — parallel space cuts (trisection), the circular
+  cut used for dimensions that wrap the whole torus, hyperspace cuts with
+  Lemma-1 dependency levels, and time cuts.
+* :mod:`repro.trap.walker` — the recursive TRAP decomposition (hyperspace
+  cuts) and the STRAP variant (serial space cuts) that Figure 9 compares.
+* :mod:`repro.trap.plan` — materialized decomposition trees (Seq/Par/Base)
+  plus wave linearization.
+* :mod:`repro.trap.loops` — the LOOPS baseline of Figure 1.
+* :mod:`repro.trap.executor` — serial and threaded plan execution.
+* :mod:`repro.trap.driver` — glue from a language-level Problem to a
+  compiled, decomposed, executed run.
+"""
+
+from repro.trap.zoid import Zoid, full_grid_zoid
+from repro.trap.cuts import CutDecision, choose_cut
+from repro.trap.walker import WalkOptions, WalkSpec, decompose, walk_spec_for
+from repro.trap.plan import BaseRegion, PlanNode, iter_base_serial, linearize_waves, plan_stats
+from repro.trap.loops import run_loops
+from repro.trap.executor import execute_plan
+from repro.trap.driver import execute_problem
+
+__all__ = [
+    "BaseRegion",
+    "CutDecision",
+    "PlanNode",
+    "WalkOptions",
+    "WalkSpec",
+    "Zoid",
+    "choose_cut",
+    "decompose",
+    "execute_plan",
+    "execute_problem",
+    "full_grid_zoid",
+    "iter_base_serial",
+    "linearize_waves",
+    "plan_stats",
+    "run_loops",
+    "walk_spec_for",
+]

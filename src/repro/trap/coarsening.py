@@ -1,0 +1,71 @@
+"""Base-case coarsening heuristics (Section 4 of the paper).
+
+The paper reports a 36x swing between uncoarsened recursion and a
+well-chosen base case, and describes Pochoir's heuristics: for 2D stop at
+100x100 space chunks with 5 time steps; for 3D and up never cut the
+unit-stride dimension and stop at small blocks (1000x3x3 with 3 steps).
+
+Those constants are tuned for compiled C++ where per-point cost is a few
+nanoseconds.  Our compiled kernels are NumPy slice operations (or C calls)
+whose per-*invocation* overhead is far larger, so the same principle —
+make the base case big enough to amortize recursion/dispatch overhead,
+small enough to stay cache-resident — lands on larger defaults.  The
+paper's exact constants remain available via :func:`paper_thresholds` and
+are exercised by the coarsening ablation benchmark; the ISAT-style
+autotuner (:mod:`repro.autotune.isat`) searches around either default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Default per-dimension space thresholds by dimensionality.  The last
+#: (unit-stride) dimension is kept wide; outer dimensions small, echoing
+#: the paper's "never cut the unit-stride dimension" rule for >= 3D.
+_DEFAULT_SPACE: dict[int, tuple[int, ...]] = {
+    1: (4096,),
+    2: (128, 128),
+    3: (32, 32, 1024),
+    4: (8, 8, 8, 64),
+}
+
+_DEFAULT_DT: dict[int, int] = {1: 64, 2: 16, 3: 8, 4: 4}
+
+
+def default_space_thresholds(ndim: int, sizes: Sequence[int]) -> tuple[int, ...]:
+    """Per-dimension coarsening thresholds (see module docstring)."""
+    if ndim in _DEFAULT_SPACE:
+        base = _DEFAULT_SPACE[ndim]
+    else:
+        base = (4,) * (ndim - 1) + (64,)
+    # Never make a threshold smaller than needed to terminate: a threshold
+    # of at least 2*slope*dt always exists once the width stops being
+    # cuttable, and the recursion terminates regardless, but clamping to
+    # the grid keeps tiny problems from decomposing at all.
+    return tuple(min(t, max(4, s)) for t, s in zip(base, sizes))
+
+
+def default_dt_threshold(ndim: int) -> int:
+    return _DEFAULT_DT.get(ndim, 3)
+
+
+def paper_thresholds(ndim: int) -> tuple[tuple[int, ...], int]:
+    """The paper's published heuristics, verbatim.
+
+    2D: 100x100 space chunks, 5 time steps.  3D: 1000 along unit stride,
+    3x3 outer, 3 time steps.  Other dimensionalities interpolate in the
+    same spirit (wide unit-stride, tiny outer dims).
+    """
+    if ndim == 1:
+        return (1000,), 5
+    if ndim == 2:
+        return (100, 100), 5
+    if ndim == 3:
+        return (3, 3, 1000), 3
+    return (3,) * (ndim - 1) + (1000,), 3
+
+
+def uncoarsened(ndim: int) -> tuple[tuple[int, ...], int]:
+    """Thresholds for recursion all the way down (Figures 9/10 measure
+    the algorithms without coarsening): every width cuttable, dt to 1."""
+    return (0,) * ndim, 1

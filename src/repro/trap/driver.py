@@ -1,0 +1,89 @@
+"""Execution driver: Problem + RunOptions -> compiled, decomposed, run.
+
+This is the glue :meth:`repro.language.Stencil.run` calls for Phase-2
+execution.  It owns nothing algorithmic — it wires the compiler pipeline,
+the walkers, the loop baseline and the executors together and fills in a
+:class:`~repro.language.stencil.RunReport`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import SpecificationError
+from repro.language.stencil import Problem, RunOptions, RunReport
+from repro.trap.loops import run_loops
+from repro.trap.executor import execute_plan
+from repro.trap.plan import plan_stats
+from repro.trap.walker import decompose, default_options, walk_spec_for
+from repro.trap.zoid import full_grid_zoid
+
+
+def build_plan(problem: Problem, options: RunOptions):
+    """Decompose the problem's space-time grid per the selected algorithm."""
+    if options.algorithm not in ("trap", "strap"):
+        raise SpecificationError(
+            f"build_plan only handles trap/strap, got {options.algorithm!r}"
+        )
+    min_off, max_off = problem.shape.min_max_offsets
+    spec = walk_spec_for(problem.sizes, problem.slopes, min_off, max_off)
+    opts = default_options(
+        problem.ndim,
+        problem.sizes,
+        dt_threshold=options.dt_threshold,
+        space_thresholds=options.space_thresholds,
+        protect_unit_stride=options.protect_unit_stride,
+        hyperspace=(options.algorithm == "trap"),
+    )
+    top = full_grid_zoid(problem.t_start, problem.t_end, problem.sizes)
+    return decompose(top, spec, opts)
+
+
+def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
+    """Compile, decompose (or loop), execute; return the run report."""
+    from repro.compiler.pipeline import compile_kernel
+
+    report = RunReport(
+        algorithm=options.algorithm,
+        mode="",
+        t_start=problem.t_start,
+        t_end=problem.t_end,
+    )
+    if problem.steps == 0:
+        return report
+
+    compiled = compile_kernel(problem, options.mode)
+    report.mode = compiled.mode
+
+    if options.algorithm in ("loops", "serial_loops"):
+        parallel = options.algorithm == "loops"
+        t0 = time.perf_counter()
+        invocations = run_loops(
+            problem,
+            compiled,
+            parallel=parallel,
+            n_workers=options.n_workers,
+        )
+        report.elapsed = time.perf_counter() - t0
+        report.points_updated = problem.total_points
+        report.base_cases = invocations
+        return report
+
+    plan = build_plan(problem, options)
+    t0 = time.perf_counter()
+    execute_plan(
+        plan,
+        compiled,
+        executor=options.executor,
+        n_workers=options.n_workers,
+    )
+    report.elapsed = time.perf_counter() - t0
+    if options.collect_stats:
+        stats = plan_stats(plan)
+        report.points_updated = stats.points
+        report.base_cases = stats.base_cases
+        report.interior_base_cases = stats.interior_base_cases
+        report.boundary_base_cases = stats.boundary_base_cases
+    else:
+        report.points_updated = problem.total_points
+    return report

@@ -1,0 +1,91 @@
+"""Plan executors: serial elision and thread-pool wave execution.
+
+The Cilk runtime of the paper schedules the spawned subzoids with work
+stealing.  Here the serial executor is the "serial elision" (depth-first,
+one thread), and the threaded executor runs the plan's dependency-safe
+*waves* (:func:`repro.trap.plan.linearize_waves`) on a thread pool with a
+barrier between waves — exactly the "k+1 parallel steps" execution model
+Lemma 1 proves sufficient.  NumPy and C kernels release the GIL for the
+bulk of their work, so threads provide real parallelism on multi-core
+hosts; the *scalability analysis* for Figure 9, however, comes from the
+work/span analyzer (:mod:`repro.runtime.workspan`), not from wall-clock
+threading, mirroring how the paper separates Cilkview measurements from
+runtime measurements.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.trap.plan import BaseRegion, PlanNode, iter_base_serial, linearize_waves
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.pipeline import CompiledKernel
+
+
+def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
+    """Execute one base case: step time forward, shifting the box by the
+    zoid slopes after each step (Figure 2, lines 20–28)."""
+    clone = compiled.interior if region.interior else compiled.boundary
+    d = len(region.dims)
+    lo = [xa for xa, _, _, _ in region.dims]
+    hi = [xb for _, xb, _, _ in region.dims]
+    dlo = [dxa for _, _, dxa, _ in region.dims]
+    dhi = [dxb for _, _, _, dxb in region.dims]
+    for t in range(region.ta, region.tb):
+        clone(t, tuple(lo), tuple(hi))
+        for i in range(d):
+            lo[i] += dlo[i]
+            hi[i] += dhi[i]
+
+
+def execute_serial(plan: PlanNode, compiled: "CompiledKernel") -> int:
+    """Depth-first serial execution; returns the number of base cases."""
+    count = 0
+    for region in iter_base_serial(plan):
+        run_base_region(region, compiled)
+        count += 1
+    return count
+
+
+def execute_threads(
+    plan: PlanNode, compiled: "CompiledKernel", n_workers: int
+) -> int:
+    """Wave-parallel execution with a barrier between waves."""
+    if n_workers < 1:
+        raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
+    waves = linearize_waves(plan)
+    count = 0
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        for wave in waves:
+            count += len(wave)
+            if len(wave) == 1:
+                run_base_region(wave[0], compiled)
+            else:
+                futures = [
+                    pool.submit(run_base_region, region, compiled)
+                    for region in wave
+                ]
+                for f in futures:
+                    f.result()  # propagate exceptions
+    return count
+
+
+def execute_plan(
+    plan: PlanNode,
+    compiled: "CompiledKernel",
+    *,
+    executor: str = "serial",
+    n_workers: int | None = None,
+) -> int:
+    """Run a plan with the selected executor; returns base-case count."""
+    if executor == "serial":
+        return execute_serial(plan, compiled)
+    if executor == "threads":
+        import os
+
+        workers = n_workers or max(1, (os.cpu_count() or 2))
+        return execute_threads(plan, compiled, workers)
+    raise ExecutionError(f"unknown executor {executor!r}")

@@ -1,0 +1,119 @@
+"""The LOOPS baseline of Figure 1: sweep the whole grid once per step.
+
+Each time step applies the interior clone to the largest box whose reads
+cannot leave the grid and the boundary clone to the surrounding shell —
+the moral equivalent of the ghost-cell trick the paper's nonperiodic loop
+baselines use (bulk untested, edges handled separately).  Options:
+
+* ``parallel=True`` — chunk the bulk across a thread pool, the
+  ``cilk_for`` analogue ("12-core loops" in Figure 3);
+* ``modulo_everywhere=True`` — apply the *boundary* clone to the whole
+  grid, i.e. pay the index-mod/boundary cost at every point.  This is the
+  strawman the code-cloning ablation of Section 4 measures against (the
+  paper reports a 2.3x penalty for it on the 2D torus heat equation).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.language.stencil import Problem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.pipeline import CompiledKernel
+
+
+def _shell_boxes(
+    sizes: tuple[int, ...],
+    lo: tuple[int, ...],
+    hi: tuple[int, ...],
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Partition grid-minus-interior-box into slabs.
+
+    Slab i fixes dimension i outside [lo_i, hi_i), restricts dimensions
+    j < i to their interior ranges, and leaves dimensions j > i full —
+    every exterior point lands in exactly one slab (indexed by its first
+    out-of-box dimension).
+    """
+    boxes = []
+    d = len(sizes)
+    for i in range(d):
+        base_lo = [lo[j] if j < i else 0 for j in range(d)]
+        base_hi = [hi[j] if j < i else sizes[j] for j in range(d)]
+        if lo[i] > 0:
+            b_lo, b_hi = list(base_lo), list(base_hi)
+            b_lo[i], b_hi[i] = 0, lo[i]
+            boxes.append((tuple(b_lo), tuple(b_hi)))
+        if hi[i] < sizes[i]:
+            b_lo, b_hi = list(base_lo), list(base_hi)
+            b_lo[i], b_hi[i] = hi[i], sizes[i]
+            boxes.append((tuple(b_lo), tuple(b_hi)))
+    return boxes
+
+
+def run_loops(
+    problem: Problem,
+    compiled: "CompiledKernel",
+    *,
+    parallel: bool = False,
+    n_workers: int | None = None,
+    modulo_everywhere: bool = False,
+) -> int:
+    """Run the loop baseline; returns the number of clone invocations."""
+    sizes = problem.sizes
+    d = problem.ndim
+
+    if modulo_everywhere:
+        zero = (0,) * d
+        count = 0
+        for t in range(problem.t_start, problem.t_end):
+            compiled.boundary(t, zero, sizes)
+            count += 1
+        return count
+
+    # Largest interior box: reads at offset range [min_off, max_off] must
+    # stay inside [0, N).
+    ir = compiled.ir
+    lo = tuple(max(0, -m) for m in ir.min_off)
+    hi = tuple(min(n, n - M) for n, M in zip(sizes, ir.max_off))
+    has_interior = all(l < h for l, h in zip(lo, hi))
+
+    count = 0
+    if parallel:
+        import os
+
+        workers = n_workers or max(1, (os.cpu_count() or 2))
+        chunks: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        if has_interior:
+            n_chunks = max(1, min(workers * 2, hi[0] - lo[0]))
+            step = (hi[0] - lo[0] + n_chunks - 1) // n_chunks
+            for start in range(lo[0], hi[0], step):
+                c_lo = (start,) + lo[1:]
+                c_hi = (min(start + step, hi[0]),) + hi[1:]
+                chunks.append((c_lo, c_hi))
+        shells = _shell_boxes(sizes, lo, hi) if has_interior else [
+            ((0,) * d, sizes)
+        ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for t in range(problem.t_start, problem.t_end):
+                futures = [
+                    pool.submit(compiled.interior, t, c_lo, c_hi)
+                    for c_lo, c_hi in chunks
+                ]
+                for f in futures:
+                    f.result()
+                for s_lo, s_hi in shells:
+                    compiled.boundary(t, s_lo, s_hi)
+                count += len(chunks) + len(shells)
+        return count
+
+    shells = _shell_boxes(sizes, lo, hi) if has_interior else [((0,) * d, sizes)]
+    for t in range(problem.t_start, problem.t_end):
+        if has_interior:
+            compiled.interior(t, lo, hi)
+            count += 1
+        for s_lo, s_hi in shells:
+            compiled.boundary(t, s_lo, s_hi)
+            count += 1
+    return count

@@ -1,0 +1,176 @@
+"""Materialized decomposition plans: Seq/Par trees over base-case regions.
+
+A walker (:mod:`repro.trap.walker`) turns a zoid into a :class:`PlanNode`
+tree whose leaves are :class:`BaseRegion` objects.  The tree encodes the
+exact dependency structure of the recursion:
+
+* ``Seq`` children must run in order (time cuts; dependency levels of a
+  hyperspace cut);
+* ``Par`` children are mutually independent (one dependency level —
+  Lemma 1 guarantees same-level subzoids form an antichain).
+
+:func:`linearize_waves` flattens a plan into *waves*: a list of lists of
+base regions such that every dependency of wave ``i`` lives in a wave
+``< i``.  Waves are what the threaded executor runs with barriers between
+them — precisely the "k+1 parallel steps" execution model of Lemma 1 —
+and merging Par branches wave-by-wave is safe exactly because Par
+children are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ExecutionError
+from repro.trap.zoid import DimExtent, Zoid
+
+
+@dataclass(frozen=True, slots=True)
+class BaseRegion:
+    """A base-case region: run the kernel over ``[ta, tb)`` steps on a box
+    whose per-dim bounds shift by the zoid slopes each step.
+
+    ``interior`` selects the fast kernel clone (no boundary checks); the
+    boundary clone additionally reduces virtual coordinates modulo the
+    grid size and resolves off-domain reads through boundary functions.
+    """
+
+    ta: int
+    tb: int
+    dims: tuple[DimExtent, ...]
+    interior: bool
+
+    def zoid(self) -> Zoid:
+        return Zoid(self.ta, self.tb, self.dims)
+
+    def volume(self) -> int:
+        return self.zoid().volume()
+
+
+@dataclass(frozen=True, slots=True)
+class PlanNode:
+    """A node of the decomposition tree (see module docstring)."""
+
+    kind: str  # 'base' | 'seq' | 'par'
+    region: BaseRegion | None = None
+    children: tuple["PlanNode", ...] = ()
+
+    @staticmethod
+    def base(region: BaseRegion) -> "PlanNode":
+        return PlanNode(kind="base", region=region)
+
+    @staticmethod
+    def seq(children: Sequence["PlanNode"]) -> "PlanNode":
+        children = tuple(children)
+        if len(children) == 1:
+            return children[0]
+        return PlanNode(kind="seq", children=children)
+
+    @staticmethod
+    def par(children: Sequence["PlanNode"]) -> "PlanNode":
+        children = tuple(children)
+        if len(children) == 1:
+            return children[0]
+        return PlanNode(kind="par", children=children)
+
+
+def iter_base_serial(plan: PlanNode) -> Iterator[BaseRegion]:
+    """Base regions in valid serial (depth-first) order.
+
+    This is the order the serial executor and the cache-trace generator
+    use; Par children are visited left to right, which is one valid
+    serialization of an antichain.
+    """
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if node.kind == "base":
+            assert node.region is not None
+            yield node.region
+        else:
+            stack.extend(reversed(node.children))
+
+
+def linearize_waves(plan: PlanNode) -> list[list[BaseRegion]]:
+    """Flatten a plan into dependency-respecting waves (module docstring)."""
+    if plan.kind == "base":
+        assert plan.region is not None
+        return [[plan.region]]
+    if plan.kind == "seq":
+        waves: list[list[BaseRegion]] = []
+        for child in plan.children:
+            waves.extend(linearize_waves(child))
+        return waves
+    if plan.kind == "par":
+        child_waves = [linearize_waves(c) for c in plan.children]
+        depth = max((len(w) for w in child_waves), default=0)
+        merged: list[list[BaseRegion]] = [[] for _ in range(depth)]
+        for waves in child_waves:
+            for i, wave in enumerate(waves):
+                merged[i].extend(wave)
+        return merged
+    raise ExecutionError(f"unknown plan node kind {plan.kind!r}")
+
+
+@dataclass
+class PlanStats:
+    """Aggregate statistics of a decomposition (RunReport feed)."""
+
+    base_cases: int = 0
+    interior_base_cases: int = 0
+    boundary_base_cases: int = 0
+    seq_nodes: int = 0
+    par_nodes: int = 0
+    max_par_width: int = 0
+    points: int = 0
+
+    @property
+    def boundary_fraction(self) -> float:
+        """Fraction of grid-point updates handled by the boundary clone —
+        the quantity the code-cloning optimization (Section 4) drives
+        toward zero as grids grow."""
+        if self.points == 0:
+            return 0.0
+        return self.boundary_points / self.points
+
+    boundary_points: int = 0
+
+
+def plan_stats(plan: PlanNode) -> PlanStats:
+    """Walk a plan and collect :class:`PlanStats`."""
+    stats = PlanStats()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if node.kind == "base":
+            assert node.region is not None
+            stats.base_cases += 1
+            vol = node.region.volume()
+            stats.points += vol
+            if node.region.interior:
+                stats.interior_base_cases += 1
+            else:
+                stats.boundary_base_cases += 1
+                stats.boundary_points += vol
+        elif node.kind == "seq":
+            stats.seq_nodes += 1
+            stack.extend(node.children)
+        elif node.kind == "par":
+            stats.par_nodes += 1
+            stats.max_par_width = max(stats.max_par_width, len(node.children))
+            stack.extend(node.children)
+        else:
+            raise ExecutionError(f"unknown plan node kind {node.kind!r}")
+    return stats
+
+
+def map_base_regions(
+    plan: PlanNode, fn: Callable[[BaseRegion], BaseRegion]
+) -> PlanNode:
+    """Rebuild a plan with every base region transformed by ``fn``."""
+    if plan.kind == "base":
+        assert plan.region is not None
+        return PlanNode.base(fn(plan.region))
+    children = tuple(map_base_regions(c, fn) for c in plan.children)
+    return PlanNode(kind=plan.kind, children=children)

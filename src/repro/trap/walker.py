@@ -1,0 +1,157 @@
+"""The recursive TRAP/STRAP walkers: zoid in, plan tree out.
+
+``decompose`` implements the control flow of Figure 2: hyperspace cut if
+any dimension admits a parallel space cut, else time cut, else base case —
+with base-case coarsening (Section 4) folded into the cut thresholds.
+STRAP (the Frigo–Strumpen-style comparison algorithm of Section 3's
+analysis) is the same walker with ``hyperspace=False``: it cuts only the
+first cuttable dimension per recursion step, so a cascade of k space cuts
+costs 2^k parallel steps instead of k+1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SpecificationError
+from repro.trap.coarsening import default_dt_threshold, default_space_thresholds
+from repro.trap.cuts import choose_cut, time_cut_children
+from repro.trap.plan import BaseRegion, PlanNode
+from repro.trap.zoid import Zoid
+
+
+@dataclass(frozen=True)
+class WalkSpec:
+    """Immutable problem geometry the walker needs.
+
+    ``min_off`` / ``max_off`` are the per-dimension extreme *read* offsets
+    of the stencil shape; they drive interior/boundary classification: a
+    zoid is interior iff every read of every contained point stays inside
+    the true grid, evaluated at the extreme time slices (extents are
+    linear in t, so the endpoints suffice).
+    """
+
+    sizes: tuple[int, ...]
+    slopes: tuple[int, ...]
+    min_off: tuple[int, ...]
+    max_off: tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.sizes)
+
+    def is_interior(self, z: Zoid) -> bool:
+        for t in (z.ta, z.tb - 1):
+            for i, (lo, hi) in enumerate(z.bounds_at(t)):
+                if lo + self.min_off[i] < 0:
+                    return False
+                if hi - 1 + self.max_off[i] > self.sizes[i] - 1:
+                    return False
+        return True
+
+
+@dataclass(frozen=True)
+class WalkOptions:
+    """Decomposition tuning: coarsening thresholds and cut strategy."""
+
+    dt_threshold: int = 1
+    space_thresholds: tuple[int, ...] = ()
+    protect_unit_stride: bool = False
+    hyperspace: bool = True
+
+    def protect_flags(self, ndim: int) -> tuple[bool, ...]:
+        flags = [False] * ndim
+        if self.protect_unit_stride and ndim >= 2:
+            flags[ndim - 1] = True
+        return tuple(flags)
+
+
+def walk_spec_for(
+    sizes: Sequence[int],
+    slopes: Sequence[int],
+    min_off: Sequence[int],
+    max_off: Sequence[int],
+) -> WalkSpec:
+    sizes = tuple(int(s) for s in sizes)
+    if any(s <= 0 for s in sizes):
+        raise SpecificationError(f"grid sizes must be positive: {sizes}")
+    return WalkSpec(
+        sizes=sizes,
+        slopes=tuple(int(s) for s in slopes),
+        min_off=tuple(int(o) for o in min_off),
+        max_off=tuple(int(o) for o in max_off),
+    )
+
+
+def default_options(
+    ndim: int,
+    sizes: Sequence[int],
+    *,
+    dt_threshold: int | None = None,
+    space_thresholds: Sequence[int] | None = None,
+    protect_unit_stride: bool | None = None,
+    hyperspace: bool = True,
+) -> WalkOptions:
+    """Fill unset knobs with the Section-4 style coarsening heuristics."""
+    if space_thresholds is None:
+        space_thresholds = default_space_thresholds(ndim, sizes)
+    if dt_threshold is None:
+        dt_threshold = default_dt_threshold(ndim)
+    if protect_unit_stride is None:
+        protect_unit_stride = ndim >= 3
+    st = tuple(int(s) for s in space_thresholds)
+    if len(st) != ndim:
+        raise SpecificationError(
+            f"space_thresholds needs {ndim} entries, got {len(st)}"
+        )
+    return WalkOptions(
+        dt_threshold=max(1, int(dt_threshold)),
+        space_thresholds=st,
+        protect_unit_stride=bool(protect_unit_stride),
+        hyperspace=hyperspace,
+    )
+
+
+def decompose(z: Zoid, spec: WalkSpec, opts: WalkOptions) -> PlanNode:
+    """Recursively decompose ``z`` into a plan tree (Figure 2).
+
+    Interior/boundary classification is *inherited*: all subzoids of an
+    interior zoid are interior (the observation Section 4 exploits), so
+    the predicate is evaluated once per interior subtree, not per leaf.
+    """
+    return _decompose(z, spec, opts, known_interior=False)
+
+
+def _decompose(
+    z: Zoid, spec: WalkSpec, opts: WalkOptions, known_interior: bool
+) -> PlanNode:
+    interior = known_interior or spec.is_interior(z)
+    decision = choose_cut(
+        z,
+        sizes=spec.sizes,
+        slopes=spec.slopes,
+        space_thresholds=opts.space_thresholds,
+        dt_threshold=opts.dt_threshold,
+        protect_dims=opts.protect_flags(z.ndim),
+        hyperspace=opts.hyperspace,
+    )
+    if decision.kind == "base":
+        return PlanNode.base(
+            BaseRegion(ta=z.ta, tb=z.tb, dims=z.dims, interior=interior)
+        )
+    if decision.kind == "time":
+        lower, upper = time_cut_children(z, decision.tm)
+        return PlanNode.seq(
+            [
+                _decompose(lower, spec, opts, interior),
+                _decompose(upper, spec, opts, interior),
+            ]
+        )
+    # Hyperspace (or single, for STRAP) space cut: levels run in sequence,
+    # zoids within one level in parallel (Lemma 1).
+    level_nodes = [
+        PlanNode.par([_decompose(sub, spec, opts, interior) for sub in level])
+        for level in decision.levels
+    ]
+    return PlanNode.seq(level_nodes)

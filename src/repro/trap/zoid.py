@@ -1,0 +1,148 @@
+"""(d+1)-dimensional space-time hypertrapezoids ("zoids").
+
+Following Section 3 of the paper, a zoid
+``Z = (ta, tb; xa0, xb0, dxa0, dxb0; …)`` is the set of integer grid
+points ``(t, x0, …, x_{d-1})`` with ``ta <= t < tb`` and
+``xai + dxai*(t - ta) <= xi < xbi + dxbi*(t - ta)``.
+
+Coordinates are *virtual*: they may exceed the grid size in a dimension
+(never by more than one full period) to represent regions that wrap around
+a periodic seam; the base-case executor reduces them modulo the grid size.
+This is the unified periodic/nonperiodic representation of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+#: Per-dimension extent: (xa, xb, dxa, dxb).
+DimExtent = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Zoid:
+    """An immutable zoid (see module docstring).
+
+    >>> z = Zoid(0, 4, ((0, 16, 0, 0),))
+    >>> z.height, z.width(0), z.upright(0)
+    (4, 16, True)
+    """
+
+    ta: int
+    tb: int
+    dims: tuple[DimExtent, ...]
+
+    @property
+    def height(self) -> int:
+        return self.tb - self.ta
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def bottom_len(self, i: int) -> int:
+        """Base length at time ta (the paper's delta-x_i)."""
+        xa, xb, _, _ = self.dims[i]
+        return xb - xa
+
+    def top_len(self, i: int) -> int:
+        """Base length at time tb (the paper's nabla-x_i)."""
+        xa, xb, dxa, dxb = self.dims[i]
+        return (xb - xa) + (dxb - dxa) * self.height
+
+    def len_at(self, i: int, t: int) -> int:
+        """Extent length at absolute time ``t`` (ta <= t <= tb)."""
+        xa, xb, dxa, dxb = self.dims[i]
+        s = t - self.ta
+        return (xb - xa) + (dxb - dxa) * s
+
+    def bounds_at(self, t: int) -> tuple[tuple[int, int], ...]:
+        """Per-dim (lo, hi) box at absolute time ``t``."""
+        s = t - self.ta
+        return tuple(
+            (xa + dxa * s, xb + dxb * s) for xa, xb, dxa, dxb in self.dims
+        )
+
+    def width(self, i: int) -> int:
+        """The paper's w_i: the longer of the two bases."""
+        return max(self.bottom_len(i), self.top_len(i))
+
+    def upright(self, i: int) -> bool:
+        """True iff the longer base of projection trapezoid i is at ta."""
+        return self.bottom_len(i) >= self.top_len(i)
+
+    def minimal(self, i: int) -> bool:
+        """Projection trapezoid i is minimal: upright with empty top, or
+        inverted with empty bottom."""
+        b, t = self.bottom_len(i), self.top_len(i)
+        return (b >= t and t == 0) or (t > b and b == 0)
+
+    def is_minimal(self) -> bool:
+        return all(self.minimal(i) for i in range(self.ndim))
+
+    def well_defined(self) -> bool:
+        """Positive height, positive widths, nonnegative bases (Section 3)."""
+        if self.height <= 0:
+            return False
+        for i in range(self.ndim):
+            b, t = self.bottom_len(i), self.top_len(i)
+            if b < 0 or t < 0 or max(b, t) <= 0:
+                return False
+        return True
+
+    def volume(self) -> int:
+        """Number of space-time grid points in the zoid (its work)."""
+        total = 0
+        for t in range(self.ta, self.tb):
+            prod = 1
+            for i in range(self.ndim):
+                length = self.len_at(i, t)
+                if length <= 0:
+                    prod = 0
+                    break
+                prod *= length
+            total += prod
+        return total
+
+    def points(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Iterate (t, point) over all zoid grid points (tests only —
+        exponential in dimensions; keep zoids tiny)."""
+        from itertools import product
+
+        for t in range(self.ta, self.tb):
+            ranges = [range(lo, hi) for lo, hi in self.bounds_at(t)]
+            for pt in product(*ranges):
+                yield t, pt
+
+    def signature(self) -> tuple:
+        """Translation-invariant shape key for work/span memoization.
+
+        Two zoids with equal signatures have identical decomposition
+        geometry (lengths, slopes, height), hence identical work and span.
+        """
+        return (
+            self.height,
+            tuple((xb - xa, dxa, dxb) for xa, xb, dxa, dxb in self.dims),
+        )
+
+    def replace_dim(self, i: int, extent: DimExtent) -> "Zoid":
+        dims = list(self.dims)
+        dims[i] = extent
+        return Zoid(self.ta, self.tb, tuple(dims))
+
+    def __repr__(self) -> str:
+        dims = "; ".join(
+            f"[{xa},{xb})+({dxa},{dxb})t" for xa, xb, dxa, dxb in self.dims
+        )
+        return f"Zoid(t=[{self.ta},{self.tb}); {dims})"
+
+
+def full_grid_zoid(t_start: int, t_end: int, sizes: Sequence[int]) -> Zoid:
+    """The top-level zoid covering the whole spatial grid for
+    ``[t_start, t_end)`` output levels (slopes all zero)."""
+    return Zoid(
+        t_start,
+        t_end,
+        tuple((0, int(n), 0, 0) for n in sizes),
+    )

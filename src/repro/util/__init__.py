@@ -1,0 +1,16 @@
+"""Small shared utilities: timing, ASCII tables, integer math helpers."""
+
+from repro.util.timing import Timer, measure
+from repro.util.tables import Table
+from repro.util.intmath import ceil_div, floor_div, ilog2, is_pow2, next_pow2
+
+__all__ = [
+    "Timer",
+    "measure",
+    "Table",
+    "ceil_div",
+    "floor_div",
+    "ilog2",
+    "is_pow2",
+    "next_pow2",
+]

@@ -1,0 +1,32 @@
+"""Integer arithmetic helpers shared by the zoid geometry and analyzers."""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """``ceil(a / b)`` for integers, exact for negatives as well."""
+    return -((-a) // b)
+
+
+def floor_div(a: int, b: int) -> int:
+    """``floor(a / b)``; alias of ``//`` kept for symmetry with ceil_div."""
+    return a // b
+
+
+def ilog2(n: int) -> int:
+    """``floor(log2 n)`` for ``n >= 1``."""
+    if n < 1:
+        raise ValueError(f"ilog2 requires n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def is_pow2(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"next_pow2 requires n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()

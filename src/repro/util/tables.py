@@ -1,0 +1,81 @@
+"""Plain-text table rendering for paper-style result tables.
+
+The evaluation harness prints rows shaped like the paper's Figure 3 /
+Figure 5 tables; this module owns the column alignment so every benchmark
+reports through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """An ASCII table with a header row and left/right-aligned columns.
+
+    Numeric cells are right-aligned, text cells left-aligned. ``add_row``
+    accepts any mix of values; they are rendered with ``format_cell``.
+
+    >>> t = Table(["name", "time"])
+    >>> t.add_row(["heat", 1.25])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    name | time
+    -----+-----
+    heat | 1.25
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+        self._numeric: list[bool] = [True] * len(self.headers)
+
+    @staticmethod
+    def format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.2f}"
+        return str(value)
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self.format_cell(v) for v in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        for i, v in enumerate(row):
+            if not isinstance(v, (int, float)):
+                self._numeric[i] = False
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+
+        def fmt_row(cells: Sequence[str], numeric_align: bool) -> str:
+            out = []
+            for i, c in enumerate(cells):
+                if numeric_align and self._numeric[i]:
+                    out.append(c.rjust(widths[i]))
+                else:
+                    out.append(c.ljust(widths[i]))
+            return " | ".join(out).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers, numeric_align=False))
+        lines.append("-+-".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append(fmt_row(r, numeric_align=True))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,58 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+``pytest-benchmark`` handles the statistically careful measurement in the
+``benchmarks/`` tree; these helpers serve the standalone harness
+(``benchmarks/harness.py``) and the autotuners, which need quick
+best-of-``repeat`` timings rather than full calibration runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    >>> with Timer() as tm:
+    ...     sum(range(10))
+    45
+    >>> tm.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.elapsed += time.perf_counter() - self._t0
+
+
+def measure(
+    fn: Callable[[], Any],
+    *,
+    repeat: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Return the best-of-``repeat`` wall time of ``fn()`` in seconds.
+
+    ``warmup`` extra calls run first (and are discarded) so one-time costs
+    such as kernel compilation or NumPy buffer faulting do not pollute the
+    measurement — the same discipline the paper applies by timing steady
+    state on a warm cache.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

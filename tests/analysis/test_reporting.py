@@ -1,0 +1,42 @@
+"""Tests for paper-style report rendering."""
+
+from repro.analysis.reporting import Fig3Row, fig3_table, series_table
+
+
+def _row(name="heat2d"):
+    return Fig3Row(
+        benchmark=name,
+        dims="2",
+        grid="512x512",
+        steps=128,
+        pochoir_1core=1.0,
+        pochoir_pcore=0.12,
+        speedup=8.3,
+        serial_loops=2.5,
+        serial_ratio=20.8,
+        parallel_loops=0.4,
+        parallel_ratio=3.3,
+    )
+
+
+def test_fig3_table_contains_all_columns():
+    out = fig3_table([_row()], processors=12)
+    assert "heat2d" in out
+    assert "512x512" in out
+    assert "12c sim" in out
+    assert "greedy-scheduler model" in out  # honesty label
+
+
+def test_fig3_table_multiple_rows():
+    out = fig3_table([_row("a"), _row("b")], processors=4)
+    assert out.count("512x512") == 2
+
+
+def test_series_table_shape():
+    out = series_table(
+        "demo", "N", [100, 200], {"trap": [1.0, 2.0], "strap": [0.5, 0.7]}
+    )
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "trap" in lines[1] and "strap" in lines[1]
+    assert len(lines) == 2 + 1 + 2  # title, header, rule, two rows

@@ -1,0 +1,26 @@
+"""Tests for the diamond-DP helpers."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.apps.dputil import doubled, is_even
+from repro.expr.evalexpr import EvalEnv, eval_expr
+from repro.expr.nodes import Const
+
+
+def _env():
+    return EvalEnv(t=0, point=(0,), read=lambda *_: 0.0, write=lambda *_: None)
+
+
+@given(v=st.integers(min_value=-100, max_value=100))
+def test_is_even_matches_python(v):
+    expr = is_even(Const(float(v)))
+    assert eval_expr(expr, _env()) == (1.0 if v % 2 == 0 else 0.0)
+
+
+def test_doubled_layout():
+    a = doubled(np.array([3, 1, 4]))
+    assert list(a) == [3, 3, 1, 1, 4, 4]
+    # a[k] == seq[k // 2] — the half-integer index trick.
+    for k in range(6):
+        assert a[k] == [3, 1, 4][k // 2]

@@ -1,0 +1,118 @@
+"""Tests for the LRU ideal-cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim.ideal_cache import IdealCache
+from repro.errors import SpecificationError
+
+
+class TestBasics:
+    def test_cold_misses(self):
+        c = IdealCache(capacity_points=64, line_points=8)
+        c.access_range(0, 16)
+        assert c.refs == 16
+        assert c.misses == 2
+
+    def test_warm_hits(self):
+        c = IdealCache(capacity_points=64, line_points=8)
+        c.access_range(0, 16)
+        c.access_range(0, 16)
+        assert c.misses == 2
+        assert c.refs == 32
+
+    def test_unaligned_range_touches_extra_line(self):
+        c = IdealCache(capacity_points=64, line_points=8)
+        c.access_range(4, 8)  # spans lines 0 and 1
+        assert c.misses == 2
+
+    def test_eviction_lru_order(self):
+        c = IdealCache(capacity_points=16, line_points=8)  # 2 lines
+        c.access_range(0, 8)    # line 0
+        c.access_range(8, 8)    # line 1
+        c.access_range(0, 8)    # touch line 0 (now MRU)
+        c.access_range(16, 8)   # line 2 evicts line 1
+        c.access_range(0, 8)    # line 0 still resident: hit
+        assert c.misses == 3
+        c.access_range(8, 8)    # line 1 was evicted: miss
+        assert c.misses == 4
+
+    def test_zero_length_ignored(self):
+        c = IdealCache(capacity_points=64, line_points=8)
+        c.access_range(0, 0)
+        assert c.refs == 0 and c.misses == 0
+
+    def test_miss_ratio(self):
+        c = IdealCache(capacity_points=64, line_points=8)
+        assert c.miss_ratio == 0.0
+        c.access_range(0, 8)
+        assert c.miss_ratio == 1 / 8
+
+    def test_reset_and_flush(self):
+        c = IdealCache(capacity_points=64, line_points=8)
+        c.access_range(0, 8)
+        c.reset_counters()
+        assert c.refs == 0
+        c.access_range(0, 8)
+        assert c.misses == 0  # still resident
+        c.flush()
+        c.access_range(0, 8)
+        assert c.misses == 1
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            IdealCache(capacity_points=4, line_points=8)
+        with pytest.raises(SpecificationError):
+            IdealCache(capacity_points=8, line_points=0)
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=512),
+            st.integers(min_value=1, max_value=64),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    small_m=st.integers(min_value=1, max_value=8),
+    extra_m=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_lru_miss_count_monotone_in_capacity(accesses, small_m, extra_m):
+    """LRU inclusion property: a bigger cache never misses more."""
+    B = 8
+    small = IdealCache(capacity_points=small_m * B, line_points=B)
+    big = IdealCache(capacity_points=(small_m + extra_m) * B, line_points=B)
+    for start, length in accesses:
+        small.access_range(start, length)
+        big.access_range(start, length)
+    assert big.misses <= small.misses
+    assert big.refs == small.refs
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=256),
+            st.integers(min_value=1, max_value=32),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_miss_count_bounded_by_lines_touched(accesses):
+    B = 4
+    c = IdealCache(capacity_points=8 * B, line_points=B)
+    lines = 0
+    for start, length in accesses:
+        lines += (start + length - 1) // B - start // B + 1
+        c.access_range(start, length)
+    assert c.misses <= lines
+    distinct = {
+        line
+        for start, length in accesses
+        for line in range(start // B, (start + length - 1) // B + 1)
+    }
+    assert c.misses >= len(distinct)  # at least the compulsory misses

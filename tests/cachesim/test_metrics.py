@@ -1,0 +1,33 @@
+"""Tests for the closed-form cache bounds."""
+
+import pytest
+
+from repro.cachesim.metrics import loops_miss_bound, trap_miss_bound
+
+
+def test_trap_bound_scaling_in_cache_size():
+    # Misses scale as M^(-1/d): quadrupling M halves 2D misses.
+    b1 = trap_miss_bound((64, 64), 64, capacity_points=1024, line_points=8)
+    b2 = trap_miss_bound((64, 64), 64, capacity_points=4096, line_points=8)
+    assert b1 / b2 == pytest.approx(2.0)
+
+
+def test_trap_bound_scaling_in_line_size():
+    b1 = trap_miss_bound((64, 64), 64, capacity_points=1024, line_points=4)
+    b2 = trap_miss_bound((64, 64), 64, capacity_points=1024, line_points=8)
+    assert b1 / b2 == pytest.approx(2.0)
+
+
+def test_loops_bound_regimes():
+    # In cache: compulsory only (independent of height).
+    small = loops_miss_bound((16, 16), 100, capacity_points=4096, line_points=8)
+    assert small == pytest.approx(16 * 16 / 8)
+    # Out of cache: one streaming sweep per step.
+    big = loops_miss_bound((128, 128), 100, capacity_points=4096, line_points=8)
+    assert big == pytest.approx(100 * 128 * 128 / 8)
+
+
+def test_trap_below_loops_out_of_cache():
+    sizes, h = (256, 256), 256
+    kw = dict(capacity_points=4096, line_points=8)
+    assert trap_miss_bound(sizes, h, **kw) < loops_miss_bound(sizes, h, **kw)

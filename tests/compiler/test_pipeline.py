@@ -1,0 +1,117 @@
+"""Tests for the compile pipeline: mode dispatch, caching, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Kernel,
+    PeriodicBoundary,
+    PochoirArray,
+    PythonBoundary,
+    Stencil,
+)
+from repro.compiler.pipeline import (
+    available_modes,
+    clear_cache,
+    compile_kernel,
+)
+from repro.errors import CompileError
+from tests.conftest import has_c_backend, make_heat_problem
+
+
+def test_available_modes_minimum():
+    modes = available_modes()
+    assert "interp" in modes
+    assert "macro_shadow" in modes
+    assert "split_pointer" in modes
+
+
+def test_auto_is_split_pointer():
+    st, u, k = make_heat_problem((8, 8))
+    compiled = compile_kernel(st.prepare(1, k), "auto")
+    assert compiled.mode == "split_pointer"
+
+
+def test_unknown_mode_rejected():
+    st, u, k = make_heat_problem((8, 8))
+    problem = st.prepare(1, k)
+    with pytest.raises(CompileError):
+        compile_kernel(problem, "jit")
+
+
+def test_cache_hits_for_same_problem():
+    st, u, k = make_heat_problem((8, 8))
+    p1 = st.prepare(1, k)
+    c1 = compile_kernel(p1, "split_pointer")
+    c2 = compile_kernel(st.prepare(1, k), "split_pointer")
+    assert c1 is c2
+
+
+def test_cache_distinguishes_arrays():
+    st1, u1, k1 = make_heat_problem((8, 8), seed=0)
+    st2, u2, k2 = make_heat_problem((8, 8), seed=1)
+    c1 = compile_kernel(st1.prepare(1, k1), "split_pointer")
+    c2 = compile_kernel(st2.prepare(1, k2), "split_pointer")
+    assert c1 is not c2  # different backing buffers
+
+
+def test_python_boundary_forces_per_point_boundary_clone():
+    n = 10
+
+    def edge(arr, t, X):
+        return 2.0 * t  # arbitrary python logic: not vectorizable
+
+    u = PochoirArray("u", (n,)).register_boundary(PythonBoundary(edge))
+    st = Stencil(1)
+    st.register_array(u)
+    k = Kernel(1, lambda t, x: u(t + 1, x) << 0.5 * (u(t, x - 1) + u(t, x + 1)))
+    u.set_initial(np.zeros(n))
+    compiled = compile_kernel(st.prepare(3, k), "split_pointer")
+    assert compiled.mode == "split_pointer"
+    assert compiled.boundary_mode == "macro_shadow"  # fallback clone
+
+
+def test_python_boundary_runs_correctly():
+    """End-to-end with an arbitrary Python boundary function."""
+    n, T = 10, 4
+
+    def edge(arr, t, X):
+        return 100.0 + X  # depends on the off-domain coordinate
+
+    def make():
+        u = PochoirArray("u", (n,)).register_boundary(PythonBoundary(edge))
+        st = Stencil(1)
+        st.register_array(u)
+        k = Kernel(
+            1, lambda t, x: u(t + 1, x) << 0.5 * (u(t, x - 1) + u(t, x + 1))
+        )
+        u.set_initial(np.arange(float(n)))
+        return st, u, k
+
+    from repro import run_phase1
+
+    st1, u1, k1 = make()
+    run_phase1(st1, T, k1)
+    ref = u1.snapshot(T)
+
+    for mode in ("split_pointer", "macro_shadow"):
+        st2, u2, k2 = make()
+        st2.run(T, k2, mode=mode)
+        assert np.array_equal(u2.snapshot(T), ref), mode
+
+
+def test_sources_recorded():
+    st, u, k = make_heat_problem((8, 8))
+    clear_cache()
+    compiled = compile_kernel(st.prepare(1, k), "split_pointer")
+    assert "interior" in compiled.sources
+    assert "def interior" in compiled.sources["interior"]
+
+
+@pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+def test_c_mode_reports_c():
+    st, u, k = make_heat_problem((8, 8))
+    compiled = compile_kernel(st.prepare(1, k), "c")
+    assert compiled.mode == "c"
+    assert compiled.boundary_mode == "c"
+    assert "interior_step" in compiled.sources["c"]

@@ -1,0 +1,192 @@
+"""Tests for kernel access analysis, normalization and validation."""
+
+import pytest
+
+from repro.errors import KernelError, ShapeViolationError
+from repro.expr.analysis import (
+    infer_shape,
+    kernel_accesses,
+    normalize_statements,
+    validate_kernel,
+)
+from repro.expr.builder import let, local, where
+from repro.expr.nodes import (
+    Assign,
+    Axis,
+    Const,
+    GridRead,
+    GridWrite,
+    IndexValue,
+    TIME_AXIS,
+)
+from repro.language.array import PochoirArray
+from repro.language.kernel import Kernel, make_axes
+
+
+def heat_1d_statements(write_at_plus_one: bool = True):
+    u = PochoirArray("u", (16,))
+    t, x = make_axes(1)
+    if write_at_plus_one:
+        return [u(t + 1, x) << 0.5 * (u(t, x - 1) + u(t, x + 1))]
+    return [u(t, x) << 0.5 * (u(t - 1, x - 1) + u(t - 1, x + 1))]
+
+
+class TestAccessExtraction:
+    def test_reads_and_writes(self):
+        stmts = normalize_statements(heat_1d_statements())
+        s = kernel_accesses(stmts)
+        assert s.writes == {"u": {0}}
+        assert s.reads["u"] == {(-1, (-1,)), (-1, (1,))}
+
+    def test_depth_slope(self):
+        stmts = normalize_statements(heat_1d_statements())
+        s = kernel_accesses(stmts)
+        assert s.depth() == 1
+        assert s.slopes() == (1,)
+
+    def test_slope_rounds_up(self):
+        # offset 3 at dt -2 gives slope ceil(3/2) = 2
+        u = PochoirArray("u", (32,), depth=2)
+        t, x = make_axes(1)
+        stmts = normalize_statements(
+            [u(t + 1, x) << u(t - 1, x + 3) + u(t, x)]
+        )
+        assert kernel_accesses(stmts).slopes() == (2,)
+
+    def test_min_max_offsets(self):
+        u = PochoirArray("u", (16, 16))
+        t, x, y = make_axes(2)
+        stmts = normalize_statements(
+            [u(t + 1, x, y) << u(t, x - 2, y) + u(t, x, y + 3)]
+        )
+        lo, hi = kernel_accesses(stmts).min_max_offsets()
+        assert lo == (-2, 0)
+        assert hi == (0, 3)
+
+
+class TestNormalization:
+    def test_both_frames_agree(self):
+        a = normalize_statements(heat_1d_statements(True))
+        b = normalize_statements(heat_1d_statements(False))
+        assert a == b
+
+    def test_write_lands_at_zero(self):
+        stmts = normalize_statements(heat_1d_statements())
+        assert all(st.target.dt == 0 for st in stmts if isinstance(st, Assign))
+
+    def test_mixed_write_levels_rejected(self):
+        u = PochoirArray("u", (16,), depth=2)
+        v = PochoirArray("v", (16,), depth=2)
+        t, x = make_axes(1)
+        with pytest.raises(KernelError, match="one time level"):
+            normalize_statements(
+                [u(t + 1, x) << u(t, x), v(t + 2, x) << v(t, x)]
+            )
+
+    def test_no_assignment_rejected(self):
+        with pytest.raises(KernelError, match="no assignment"):
+            normalize_statements([let("a", Const(1.0))])
+
+    def test_index_value_shifted_with_frame(self):
+        # In the t+1 frame, bare t must still mean the invocation time.
+        u = PochoirArray("u", (16,))
+        t, x = make_axes(1)
+        stmts = normalize_statements([u(t + 1, x) << u(t, x) + 1.0 * t])
+        (assign,) = stmts
+        # After normalization home is dt=0, so the IndexValue must be t-1.
+        ivs = [
+            n
+            for n in _walk_expr(assign.expr)
+            if isinstance(n, IndexValue)
+        ]
+        assert len(ivs) == 1
+        assert ivs[0].index.const == -1
+
+
+def _walk_expr(e):
+    yield e
+    for c in e.children():
+        yield from _walk_expr(c)
+
+
+class TestValidation:
+    def test_future_read_rejected(self):
+        u = PochoirArray("u", (16,), depth=2)
+        t, x = make_axes(1)
+        stmts = [Assign(GridWrite("u", 0), GridRead("u", 1, (0,)))]
+        with pytest.raises(ShapeViolationError, match="future"):
+            validate_kernel(stmts, ndim=1)
+
+    def test_same_level_offset_read_rejected(self):
+        stmts = [Assign(GridWrite("u", 0), GridRead("u", 0, (1,)))]
+        with pytest.raises(KernelError, match="home cell"):
+            validate_kernel(stmts, ndim=1)
+
+    def test_same_level_read_before_write_rejected(self):
+        stmts = [Assign(GridWrite("u", 0), GridRead("v", 0, (0,)))]
+        with pytest.raises(KernelError, match="before any statement writes"):
+            validate_kernel(stmts, ndim=1)
+
+    def test_same_level_read_after_write_allowed(self):
+        stmts = [
+            Assign(GridWrite("v", 0), GridRead("v", -1, (0,))),
+            Assign(GridWrite("u", 0), GridRead("v", 0, (0,))),
+        ]
+        validate_kernel(stmts, ndim=1)
+
+    def test_wrong_arity_rejected(self):
+        stmts = [Assign(GridWrite("u", 0), GridRead("u", -1, (0, 0)))]
+        with pytest.raises(KernelError, match="spatial subscripts"):
+            validate_kernel(stmts, ndim=1)
+
+    def test_unregistered_array_rejected(self):
+        stmts = [Assign(GridWrite("u", 0), GridRead("u", -1, (0,)))]
+        with pytest.raises(KernelError, match="unregistered"):
+            validate_kernel(stmts, ndim=1, known_arrays=["w"])
+
+    def test_undeclared_cell_rejected(self):
+        stmts = [Assign(GridWrite("u", 0), GridRead("u", -1, (2,)))]
+        with pytest.raises(ShapeViolationError, match="outside the declared"):
+            validate_kernel(
+                stmts, ndim=1, declared_cells=[(0, 0), (-1, 0), (-1, 1)]
+            )
+
+    def test_declared_cell_accepted(self):
+        stmts = [Assign(GridWrite("u", 0), GridRead("u", -1, (1,)))]
+        validate_kernel(stmts, ndim=1, declared_cells=[(0, 0), (-1, 1)])
+
+    def test_local_before_binding_rejected(self):
+        u = PochoirArray("u", (16,))
+        t, x = make_axes(1)
+        stmts = [
+            Assign(GridWrite("u", 0), local("tmp")),
+            let("tmp", Const(1.0)),
+        ]
+        with pytest.raises(KernelError, match="before its let-binding"):
+            validate_kernel(stmts, ndim=1)
+
+    def test_double_let_rejected(self):
+        stmts = [
+            let("a", Const(1.0)),
+            let("a", Const(2.0)),
+            Assign(GridWrite("u", 0), local("a")),
+        ]
+        with pytest.raises(KernelError, match="let-bound twice"):
+            validate_kernel(stmts, ndim=1)
+
+
+class TestInferShape:
+    def test_heat_shape_inferred(self):
+        stmts = normalize_statements(heat_1d_statements())
+        cells = infer_shape(stmts)
+        assert cells[0] == (0, 0)
+        assert set(cells) == {(0, 0), (-1, -1), (-1, 1)}
+
+    def test_home_first(self):
+        u = PochoirArray("u", (8, 8))
+        t, x, y = make_axes(2)
+        stmts = normalize_statements(
+            [u(t + 1, x, y) << u(t, x - 1, y + 1)]
+        )
+        cells = infer_shape(stmts)
+        assert cells[0] == (0, 0, 0)

@@ -1,0 +1,67 @@
+"""Tests for the user-facing expression builder helpers."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.expr.builder import (
+    eq_,
+    fmath,
+    let,
+    local,
+    maximum,
+    minimum,
+    ne_,
+    sum_of,
+    where,
+)
+from repro.expr.nodes import BinOp, Call, Compare, Const, Let, LocalRead, Where
+
+
+def test_where_coerces_scalars():
+    w = where(Const(1.0) > 0, 2, 3.5)
+    assert isinstance(w, Where)
+    assert w.if_true == Const(2.0)
+    assert w.if_false == Const(3.5)
+
+
+def test_eq_ne_build_compares():
+    assert eq_(Const(1.0), 1).op == "=="
+    assert ne_(Const(1.0), 1).op == "!="
+
+
+def test_minimum_maximum_chain():
+    m = minimum(1, 2, 3, 4)
+    # ((1 min 2) min 3) min 4
+    assert isinstance(m, BinOp) and m.op == "min"
+    assert isinstance(m.left, BinOp) and m.left.op == "min"
+    M = maximum(1, 2)
+    assert isinstance(M, BinOp) and M.op == "max"
+
+
+def test_fmath_known_function():
+    c = fmath.exp(Const(1.0))
+    assert isinstance(c, Call) and c.func == "exp"
+
+
+def test_fmath_unknown_function_rejected():
+    with pytest.raises(KernelError, match="unsupported math function"):
+        fmath.bessel(Const(1.0))
+
+
+def test_let_local_roundtrip():
+    stmt = let("tmp", Const(1.0))
+    assert isinstance(stmt, Let) and stmt.name == "tmp"
+    r = local("tmp")
+    assert isinstance(r, LocalRead) and r.name == "tmp"
+
+
+def test_let_requires_identifier():
+    with pytest.raises(KernelError, match="identifier"):
+        let("not valid", Const(1.0))
+
+
+def test_sum_of():
+    s = sum_of([Const(1.0), Const(2.0), Const(3.0)])
+    assert isinstance(s, BinOp)
+    with pytest.raises(KernelError):
+        sum_of([])

@@ -1,0 +1,118 @@
+"""Tests for the tree-walking evaluator (the semantic reference)."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.expr.builder import eq_, fmath, let, local, maximum, minimum, where
+from repro.expr.evalexpr import EvalEnv, eval_expr, eval_statements
+from repro.expr.nodes import (
+    AffineIndex,
+    Assign,
+    Axis,
+    Const,
+    GridRead,
+    GridWrite,
+    IndexValue,
+    Param,
+    TIME_AXIS,
+)
+
+t = Axis("t", TIME_AXIS)
+x = Axis("x", 0)
+
+
+def env_with(store=None, params=None, t_val=3, point=(5,)):
+    store = store if store is not None else {}
+    writes = {}
+
+    def read(name, dt, pt):
+        return store[(name, t_val + dt, pt)]
+
+    def write(name, dt, pt, v):
+        writes[(name, t_val + dt, pt)] = v
+
+    env = EvalEnv(
+        t=t_val, point=point, read=read, write=write, params=params or {}
+    )
+    return env, writes
+
+
+class TestScalarEvaluation:
+    def test_const(self):
+        env, _ = env_with()
+        assert eval_expr(Const(2.5), env) == 2.5
+
+    def test_param(self):
+        env, _ = env_with(params={"a": 1.5})
+        assert eval_expr(Param("a"), env) == 1.5
+
+    def test_unbound_param_raises(self):
+        env, _ = env_with()
+        with pytest.raises(ExecutionError, match="unbound parameter"):
+            eval_expr(Param("nope"), env)
+
+    def test_index_value(self):
+        env, _ = env_with(t_val=7, point=(2,))
+        e = IndexValue(AffineIndex(terms=((t, 1), (x, 2)), const=3))
+        assert eval_expr(e, env) == 7 + 2 * 2 + 3
+
+    def test_grid_read_applies_offsets(self):
+        env, _ = env_with(store={("u", 2, (6,)): 42.0})
+        assert eval_expr(GridRead("u", -1, (1,)), env) == 42.0
+
+    def test_arithmetic(self):
+        env, _ = env_with()
+        assert eval_expr(Const(2.0) + Const(3.0) * Const(4.0), env) == 14.0
+        assert eval_expr(Const(2.0) ** Const(3.0), env) == 8.0
+        assert eval_expr(Const(7.0) % Const(3.0), env) == math.fmod(7.0, 3.0)
+
+    def test_min_max(self):
+        env, _ = env_with()
+        assert eval_expr(minimum(3.0, Const(1.0), 2.0), env) == 1.0
+        assert eval_expr(maximum(3.0, Const(1.0), 5.0), env) == 5.0
+
+    def test_comparisons_return_01(self):
+        env, _ = env_with()
+        assert eval_expr(Const(1.0) < 2.0, env) == 1.0
+        assert eval_expr(Const(3.0) < 2.0, env) == 0.0
+        assert eval_expr(eq_(Const(2.0), 2.0), env) == 1.0
+
+    def test_boolean_combinators(self):
+        env, _ = env_with()
+        true, false = Const(1.0) > 0.0, Const(1.0) < 0.0
+        assert eval_expr(true & true, env) == 1.0
+        assert eval_expr(true & false, env) == 0.0
+        assert eval_expr(false | true, env) == 1.0
+        assert eval_expr(~true, env) == 0.0
+
+    def test_where_is_lazy(self):
+        # The false branch would divide by zero; laziness avoids it.
+        env, _ = env_with()
+        e = where(Const(1.0) > 0.0, 5.0, Const(1.0) / Const(0.0))
+        assert eval_expr(e, env) == 5.0
+
+    def test_math_calls(self):
+        env, _ = env_with()
+        assert eval_expr(fmath.exp(Const(0.0)), env) == 1.0
+        assert eval_expr(fmath.sqrt(Const(9.0)), env) == 3.0
+        assert eval_expr(fmath.fabs(Const(-2.0)), env) == 2.0
+
+
+class TestStatements:
+    def test_let_then_assign(self):
+        env, writes = env_with()
+        stmts = [
+            let("a", Const(2.0)),
+            Assign(GridWrite("u", 0), local("a") * 3.0),
+        ]
+        eval_statements(stmts, env)
+        assert writes == {("u", 3, (5,)): 6.0}
+
+    def test_locals_cleared_between_points(self):
+        env, _ = env_with()
+        eval_statements([let("a", Const(1.0)),
+                         Assign(GridWrite("u", 0), local("a"))], env)
+        with pytest.raises(ExecutionError, match="before let-binding"):
+            eval_statements([Assign(GridWrite("u", 0), local("a"))], env)

@@ -1,0 +1,168 @@
+"""Unit tests for the AST node layer: index arithmetic, operator
+overloading, canonical forms, and construction-time validation."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.expr.nodes import (
+    AffineIndex,
+    Axis,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    GridRead,
+    IndexValue,
+    NotOp,
+    Param,
+    TIME_AXIS,
+    UnOp,
+    Where,
+    as_affine,
+    as_expr,
+)
+
+t = Axis("t", TIME_AXIS)
+x = Axis("x", 0)
+y = Axis("y", 1)
+
+
+class TestAffineIndex:
+    def test_axis_plus_constant(self):
+        idx = as_affine(x + 3)
+        assert idx.single_axis_offset() == (x, 3)
+
+    def test_axis_minus_constant(self):
+        idx = as_affine(x - 2)
+        assert idx.single_axis_offset() == (x, -2)
+
+    def test_reverse_add(self):
+        assert as_affine(5 + x).single_axis_offset() == (x, 5)
+
+    def test_pure_constant(self):
+        assert AffineIndex.constant(7).single_axis_offset() == (None, 7)
+
+    def test_multi_axis_combination(self):
+        idx = as_affine(x + y - 4)
+        coefs = dict(idx.terms)
+        assert coefs == {x: 1, y: 1}
+        assert idx.const == -4
+
+    def test_multi_axis_not_single_offset(self):
+        with pytest.raises(KernelError):
+            as_affine(x + y).single_axis_offset()
+
+    def test_scaled_axis_not_single_offset(self):
+        with pytest.raises(KernelError):
+            as_affine(2 * x).single_axis_offset()
+
+    def test_cancellation_is_canonical(self):
+        idx = as_affine((x + y) - y)
+        assert idx.single_axis_offset() == (x, 0)
+
+    def test_negation(self):
+        idx = as_affine(-(x - 3))
+        coefs = dict(idx.terms)
+        assert coefs == {x: -1}
+        assert idx.const == 3
+
+    def test_integer_scaling(self):
+        idx = as_affine(x * 3 + 1)
+        assert dict(idx.terms) == {x: 3}
+        assert idx.const == 1
+
+    def test_subtraction_of_axes(self):
+        idx = as_affine(y - x)
+        assert dict(idx.terms) == {x: -1, y: 1}
+
+    def test_equality_is_canonical(self):
+        assert as_affine(x + 1 + 1) == as_affine(x + 2)
+        assert as_affine(x + y) == as_affine(y + x)
+
+    def test_float_scaling_lifts_to_value(self):
+        e = x * 0.5
+        assert isinstance(e, BinOp)
+
+    def test_non_integer_index_arith_rejected(self):
+        with pytest.raises(KernelError):
+            as_affine("hello")  # type: ignore[arg-type]
+
+
+class TestValueOperators:
+    def test_add_builds_binop(self):
+        e = Const(1.0) + Const(2.0)
+        assert isinstance(e, BinOp) and e.op == "+"
+
+    def test_scalar_coercion_both_sides(self):
+        left = 1 + Const(2.0)
+        right = Const(2.0) + 1
+        assert isinstance(left, BinOp) and isinstance(right, BinOp)
+        assert left.left == Const(1.0)
+        assert right.right == Const(1.0)
+
+    def test_comparison_builds_compare(self):
+        e = Const(1.0) < Const(2.0)
+        assert isinstance(e, Compare) and e.op == "<"
+
+    def test_structural_equality_not_compare(self):
+        # == on nodes is structural, by design.
+        assert Const(1.0) == Const(1.0)
+        assert Const(1.0) != Const(2.0)
+
+    def test_bool_operators(self):
+        e = (Const(1.0) > 0) & (Const(2.0) > 1)
+        assert isinstance(e, BoolOp) and e.op == "and"
+        e2 = (Const(1.0) > 0) | (Const(2.0) > 1)
+        assert isinstance(e2, BoolOp) and e2.op == "or"
+        e3 = ~(Const(1.0) > 0)
+        assert isinstance(e3, NotOp)
+
+    def test_negation_and_abs(self):
+        assert isinstance(-Const(1.0), UnOp)
+        assert isinstance(abs(Const(-1.0)), UnOp)
+
+    def test_axis_comparison_lifts(self):
+        e = x < 5
+        assert isinstance(e, Compare)
+        assert isinstance(e.left, IndexValue)
+
+    def test_nodes_are_hashable(self):
+        e1 = Const(1.0) + Const(2.0)
+        e2 = Const(1.0) + Const(2.0)
+        assert hash(e1) == hash(e2)
+        assert len({e1, e2}) == 1
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(KernelError):
+            as_expr(object())
+
+    def test_as_expr_bool(self):
+        assert as_expr(True) == Const(1.0)
+        assert as_expr(False) == Const(0.0)
+
+
+class TestNodeValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(KernelError):
+            BinOp("@", Const(1.0), Const(2.0))
+
+    def test_unknown_cmp_rejected(self):
+        with pytest.raises(KernelError):
+            Compare("<>", Const(1.0), Const(2.0))
+
+    def test_unknown_call_rejected(self):
+        from repro.expr.nodes import Call
+
+        with pytest.raises(KernelError):
+            Call("gamma", (Const(1.0),))
+
+    def test_where_children(self):
+        w = Where(Const(1.0), Const(2.0), Const(3.0))
+        assert w.children() == (Const(1.0), Const(2.0), Const(3.0))
+
+    def test_grid_read_fields(self):
+        g = GridRead("u", -1, (1, 0))
+        assert g.array == "u" and g.dt == -1 and g.offsets == (1, 0)
+
+    def test_param_name(self):
+        assert Param("alpha").name == "alpha"

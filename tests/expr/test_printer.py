@@ -1,0 +1,46 @@
+"""Tests for the diagnostic pretty-printer."""
+
+from repro.expr.builder import eq_, fmath, let, where
+from repro.expr.nodes import (
+    Assign,
+    Axis,
+    Const,
+    GridRead,
+    GridWrite,
+    Param,
+    TIME_AXIS,
+)
+from repro.expr.printer import statement_source, to_source
+
+
+def test_grid_read_rendering():
+    assert to_source(GridRead("u", -1, (1, 0))) == "u(t-1, x+1, y)"
+    assert to_source(GridRead("u", 0, (0,))) == "u(t, x)"
+
+
+def test_precedence_parenthesization():
+    e = (Const(1.0) + Const(2.0)) * Const(3.0)
+    assert to_source(e) == "(1 + 2) * 3"
+    e2 = Const(1.0) + Const(2.0) * Const(3.0)
+    assert to_source(e2) == "1 + 2 * 3"
+
+
+def test_where_and_calls():
+    e = where(eq_(Const(1.0), 2.0), fmath.sqrt(Const(4.0)), 0.0)
+    assert to_source(e) == "where(1 == 2, sqrt(4), 0)"
+
+
+def test_param_rendering():
+    assert to_source(Param("alpha")) == "$alpha"
+
+
+def test_statement_rendering():
+    st = Assign(GridWrite("u", 1), GridRead("u", 0, (0,)))
+    assert statement_source(st) == "u(t+1, .) = u(t, x)"
+    assert statement_source(let("a", Const(1.0))) == "a = 1"
+
+
+def test_min_max_render_as_calls():
+    from repro.expr.builder import maximum
+
+    assert to_source(maximum(Const(1.0), 2.0)) == "max(1, 2)"

@@ -1,0 +1,125 @@
+"""Tests for constant folding, parameter substitution and time shifting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expr.builder import where
+from repro.expr.evalexpr import EvalEnv, eval_expr
+from repro.expr.nodes import (
+    BinOp,
+    Call,
+    Const,
+    GridRead,
+    Param,
+    UnOp,
+    Where,
+)
+from repro.expr.transform import (
+    collect_params,
+    count_nodes,
+    fold_constants,
+    shift_time,
+    substitute_params,
+)
+from repro.expr.nodes import Assign, GridWrite, Let
+
+
+def _const_env():
+    return EvalEnv(
+        t=0,
+        point=(0,),
+        read=lambda *_: 0.0,
+        write=lambda *_: None,
+    )
+
+
+class TestFoldConstants:
+    @pytest.mark.parametrize(
+        "op,expect",
+        [("+", 5.0), ("-", -1.0), ("*", 6.0), ("/", 2.0 / 3.0),
+         ("min", 2.0), ("max", 3.0), ("**", 8.0)],
+    )
+    def test_binops_fold(self, op, expect):
+        e = fold_constants(BinOp(op, Const(2.0), Const(3.0)))
+        assert e == Const(expect)
+
+    def test_fmod_folds(self):
+        e = fold_constants(BinOp("%", Const(7.0), Const(3.0)))
+        assert e == Const(math.fmod(7.0, 3.0))
+
+    def test_division_by_zero_not_folded(self):
+        e = fold_constants(BinOp("/", Const(1.0), Const(0.0)))
+        assert isinstance(e, BinOp)  # preserved for runtime semantics
+
+    def test_unop_folds(self):
+        assert fold_constants(UnOp("neg", Const(2.0))) == Const(-2.0)
+        assert fold_constants(UnOp("abs", Const(-2.0))) == Const(2.0)
+
+    def test_call_folds(self):
+        e = fold_constants(Call("sqrt", (Const(4.0),)))
+        assert e == Const(2.0)
+
+    def test_call_domain_error_not_folded(self):
+        e = fold_constants(Call("sqrt", (Const(-1.0),)))
+        assert isinstance(e, Call)
+
+    def test_where_const_cond_folds(self):
+        g = GridRead("u", -1, (0,))
+        assert fold_constants(Where(Const(1.0), g, Const(9.0))) == g
+        assert fold_constants(Where(Const(0.0), g, Const(9.0))) == Const(9.0)
+
+    def test_identity_add_zero(self):
+        g = GridRead("u", -1, (0,))
+        assert fold_constants(g + 0.0) == g
+        assert fold_constants(0.0 + g) == g
+
+    def test_identity_mul_one(self):
+        g = GridRead("u", -1, (0,))
+        assert fold_constants(g * 1.0) == g
+        assert fold_constants(1.0 * g) == g
+
+    def test_nested_folding(self):
+        e = fold_constants((Const(2.0) + Const(3.0)) * (Const(1.0) + Const(1.0)))
+        assert e == Const(10.0)
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.sampled_from(["+", "-", "*", "min", "max"]),
+    )
+    def test_folding_matches_evaluation(self, a, b, op):
+        e = BinOp(op, Const(a), Const(b))
+        folded = fold_constants(e)
+        assert isinstance(folded, Const)
+        assert folded.value == eval_expr(e, _const_env())
+
+
+class TestSubstituteParams:
+    def test_bound_param_becomes_const(self):
+        e = substitute_params(Param("alpha") + Const(1.0), {"alpha": 0.5})
+        assert fold_constants(e) == Const(1.5)
+
+    def test_unbound_param_survives(self):
+        e = substitute_params(Param("alpha"), {"beta": 1.0})
+        assert e == Param("alpha")
+
+    def test_collect_params(self):
+        stmts = [
+            Let("a", Param("p") + Param("q")),
+            Assign(GridWrite("u", 0), Param("p")),
+        ]
+        assert collect_params(stmts) == {"p", "q"}
+
+
+class TestShiftTime:
+    def test_grid_read_shifted(self):
+        st_in = Assign(GridWrite("u", 1), GridRead("u", 0, (0,)))
+        out = shift_time(st_in, -1)
+        assert out.target.dt == 0
+        assert out.expr == GridRead("u", -1, (0,))
+
+    def test_count_nodes(self):
+        e = Const(1.0) + Const(2.0) * Const(3.0)
+        assert count_nodes(e) == 5

@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples double as acceptance tests for the public API; they carry their
+own internal assertions, so a clean exit is a meaningful check.  Grid
+sizes are shrunk via environment-free monkeypatching where the stock
+example would be slow for CI.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+@pytest.mark.slow
+def test_quickstart():
+    run_example("quickstart.py")
+
+
+@pytest.mark.slow
+def test_life_glider():
+    run_example("life_glider.py")
+
+
+@pytest.mark.slow
+def test_option_pricing():
+    run_example("option_pricing.py")
+
+
+@pytest.mark.slow
+def test_heat_cylinder():
+    run_example("heat_cylinder.py")
+
+
+@pytest.mark.slow
+def test_sequence_alignment():
+    run_example("sequence_alignment.py")

@@ -1,0 +1,134 @@
+"""Tests for boundary functions (each kind, both protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BoundaryError
+from repro.language.boundary import (
+    ConstantBoundary,
+    DirichletBoundary,
+    MixedBoundary,
+    NeumannBoundary,
+    PeriodicBoundary,
+    PythonBoundary,
+    ZeroBoundary,
+)
+
+STORE = {
+    (0, (0, 0)): 1.0,
+    (0, (0, 2)): 3.0,
+    (0, (2, 0)): 5.0,
+    (0, (2, 2)): 7.0,
+}
+SIZES = (3, 3)
+
+
+def reader(t, pt):
+    return STORE.get((t, pt), 0.0)
+
+
+class TestPeriodic:
+    def test_wraps_negative(self):
+        b = PeriodicBoundary()
+        assert b.resolve(reader, 0, (-1, 0), SIZES) == 5.0  # -1 % 3 == 2
+
+    def test_wraps_positive(self):
+        b = PeriodicBoundary()
+        assert b.resolve(reader, 0, (3, 5), SIZES) == 3.0  # (0, 2)
+
+    def test_vector_map(self):
+        b = PeriodicBoundary()
+        out = b.map_index(np.array([-1, 0, 3]), 3, 0)
+        assert list(out) == [2, 0, 0]
+
+    def test_is_remap(self):
+        assert PeriodicBoundary().is_index_remap
+        assert not PeriodicBoundary().is_fill
+
+
+class TestNeumann:
+    def test_clamps(self):
+        b = NeumannBoundary()
+        assert b.resolve(reader, 0, (-5, 0), SIZES) == 1.0
+        assert b.resolve(reader, 0, (9, 9), SIZES) == 7.0
+
+    def test_vector_map(self):
+        out = NeumannBoundary().map_index(np.array([-2, 1, 7]), 3, 0)
+        assert list(out) == [0, 1, 2]
+
+
+class TestConstantAndDirichlet:
+    def test_constant(self):
+        b = ConstantBoundary(4.5)
+        assert b.resolve(reader, 0, (-1, -1), SIZES) == 4.5
+        assert b.fill_value(10) == 4.5
+
+    def test_zero_helper(self):
+        assert ZeroBoundary().fill_value(0) == 0.0
+
+    def test_dirichlet_time_varying(self):
+        # Figure 11(a): return 100 + 0.2 * t
+        b = DirichletBoundary(base=100.0, per_step=0.2)
+        assert b.resolve(reader, 5, (-1, 0), SIZES) == 101.0
+        assert b.fill_value(10) == 102.0
+
+    def test_fill_kinds_not_remaps(self):
+        with pytest.raises(BoundaryError):
+            ConstantBoundary(1.0).map_index(np.array([0]), 3, 0)
+        with pytest.raises(BoundaryError):
+            PeriodicBoundary().fill_value(0)
+
+
+class TestMixed:
+    def test_cylinder(self):
+        b = MixedBoundary(modes=("periodic", "clamp"))
+        # x wraps, y clamps
+        assert b.resolve(reader, 0, (-1, 5), SIZES) == 7.0  # (2, 2)
+
+    def test_vector_maps_per_dim(self):
+        b = MixedBoundary(modes=("periodic", "clamp"))
+        assert list(b.map_index(np.array([-1]), 3, 0)) == [2]
+        assert list(b.map_index(np.array([-1]), 3, 1)) == [0]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(BoundaryError):
+            MixedBoundary(modes=("bouncy",))
+
+
+class TestPythonBoundary:
+    def test_arbitrary_function(self):
+        # Figure 11(b)-style Neumann written as user code.
+        def bv(arr, t, X, Y):
+            nx = min(max(X, 0), arr.size(1) - 1)
+            ny = min(max(Y, 0), arr.size(0) - 1)
+            return arr.get(t, nx, ny)
+
+        b = PythonBoundary(bv)
+        assert b.resolve(reader, 0, (-3, 2), SIZES) == 3.0
+
+    def test_size_convention_matches_paper(self):
+        # a.size(1) is x (slowest), a.size(0) is y (unit stride) in 2D.
+        sizes = (3, 7)
+
+        def bv(arr, t, X, Y):
+            assert arr.size(1) == 3 and arr.size(0) == 7
+            return 0.0
+
+        PythonBoundary(bv).resolve(reader, 0, (-1, 0), sizes)
+
+    def test_off_domain_get_rejected(self):
+        def bv(arr, t, X, Y):
+            return arr.get(t, -1, 0)  # off-domain read inside boundary fn
+
+        with pytest.raises(BoundaryError, match="in-domain"):
+            PythonBoundary(bv).resolve(reader, 0, (-1, 0), SIZES)
+
+    def test_non_scalar_return_rejected(self):
+        with pytest.raises(BoundaryError, match="non-scalar"):
+            PythonBoundary(lambda arr, t, X, Y: "hot").resolve(
+                reader, 0, (-1, 0), SIZES
+            )
+
+    def test_not_vectorizable(self):
+        b = PythonBoundary(lambda arr, t, X, Y: 0.0)
+        assert not b.is_index_remap and not b.is_fill

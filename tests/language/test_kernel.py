@@ -1,0 +1,103 @@
+"""Tests for Kernel construction and tracing."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.language.array import PochoirArray
+from repro.language.kernel import Kernel, make_axes
+
+
+def test_make_axes_names_and_positions():
+    t, x, y, z = make_axes(3)
+    assert t.is_time
+    assert (x.name, x.position) == ("x", 0)
+    assert (y.name, y.position) == ("y", 1)
+    assert (z.name, z.position) == ("z", 2)
+
+
+def test_make_axes_high_dims():
+    axes = make_axes(6)
+    assert axes[-1].name == "x5"
+
+
+def test_make_axes_zero_rejected():
+    with pytest.raises(KernelError):
+        make_axes(0)
+
+
+def test_build_is_cached():
+    u = PochoirArray("u", (8,))
+    calls = []
+
+    def body(t, x):
+        calls.append(1)
+        return u(t + 1, x) << u(t, x)
+
+    k = Kernel(1, body)
+    b1 = k.build()
+    b2 = k.build()
+    assert b1 is b2
+    assert len(calls) == 1
+
+
+def test_single_statement_coerced_to_list():
+    u = PochoirArray("u", (8,))
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x))
+    assert len(k.build().statements) == 1
+
+
+def test_non_statement_return_rejected():
+    u = PochoirArray("u", (8,))
+    # Missing '<<': the lambda returns an expression, not a statement.
+    k = Kernel(1, lambda t, x: u(t, x) + 1.0)
+    with pytest.raises(KernelError, match="statement"):
+        k.build()
+
+
+def test_list_with_non_statement_rejected():
+    u = PochoirArray("u", (8,))
+    k = Kernel(1, lambda t, x: [u(t + 1, x) << u(t, x), 42])
+    with pytest.raises(KernelError, match="forget '<<'"):
+        k.build()
+
+
+def test_empty_list_rejected():
+    k = Kernel(1, lambda t, x: [])
+    with pytest.raises(KernelError, match="no statements"):
+        k.build()
+
+
+def test_only_lets_rejected():
+    from repro.expr.builder import let
+
+    k = Kernel(1, lambda t, x: [let("a", 1.0)])
+    with pytest.raises(KernelError, match="no assignment"):
+        k.build()
+
+
+def test_dim_mismatch_detected():
+    u = PochoirArray("u", (8, 8))
+    t, x = make_axes(1)
+    # 1-D kernel touching a 2-D array: the array call itself raises.
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x))
+    with pytest.raises(KernelError):
+        k.build()
+
+
+def test_inferred_cells_and_source():
+    u = PochoirArray("u", (8,))
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x - 1) + u(t, x + 1))
+    built = k.build()
+    assert built.inferred_cells()[0] == (0, 0)
+    assert "u(t-1, x-1)" in built.source() or "u(t-1, x+1)" in built.source()
+
+
+def test_kernel_name_default():
+    u = PochoirArray("u", (8,))
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x))
+    assert k.name == "kernel"  # lambdas get a stable default
+
+    def my_heat(t, x):
+        return u(t + 1, x) << u(t, x)
+
+    assert Kernel(1, my_heat).name == "my_heat"

@@ -1,0 +1,76 @@
+"""Tests for the Phase-1 checked interpreter (the template library)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeViolationError
+from repro import (
+    Kernel,
+    PeriodicBoundary,
+    PochoirArray,
+    Shape,
+    Stencil,
+    run_phase1,
+)
+
+
+def test_matches_direct_numpy_reference():
+    """Phase 1 equals a hand-rolled NumPy update for the periodic 1D heat."""
+    n, T = 12, 5
+    u = PochoirArray("u", (n,)).register_boundary(PeriodicBoundary())
+    st = Stencil(1)
+    st.register_array(u)
+    k = Kernel(
+        1,
+        lambda t, x: u(t + 1, x)
+        << 0.25 * u(t, x - 1) + 0.5 * u(t, x) + 0.25 * u(t, x + 1),
+    )
+    init = np.random.default_rng(0).random(n)
+    u.set_initial(init)
+    run_phase1(st, T, k)
+
+    v = init.copy()
+    for _ in range(T):
+        v = 0.25 * np.roll(v, 1) + 0.5 * v + 0.25 * np.roll(v, -1)
+    assert np.allclose(u.snapshot(T), v, rtol=0, atol=0)
+
+
+def test_shape_violation_detected():
+    """An access outside the declared shape raises ShapeViolationError —
+    the compliance check the Pochoir Guarantee is built on."""
+    n = 8
+    shape = Shape.from_cells([(1, 0), (0, 0), (0, 1)])  # no (0,-1)!
+    u = PochoirArray("u", (n,)).register_boundary(PeriodicBoundary())
+    st = Stencil(1, shape)
+    st.register_array(u)
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x) + u(t, x - 1))
+    u.set_initial(np.zeros(n))
+    with pytest.raises(ShapeViolationError):
+        run_phase1(st, 1, k)
+
+
+def test_phase2_rejects_what_phase1_rejects():
+    """The same undeclared-cell program is rejected statically by Phase 2:
+    both phases enforce the same contract."""
+    n = 8
+    shape = Shape.from_cells([(1, 0), (0, 0), (0, 1)])
+    u = PochoirArray("u", (n,)).register_boundary(PeriodicBoundary())
+    st = Stencil(1, shape)
+    st.register_array(u)
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x) + u(t, x - 1))
+    u.set_initial(np.zeros(n))
+    with pytest.raises(ShapeViolationError):
+        st.run(1, k)
+
+
+def test_cursor_advances():
+    n = 8
+    u = PochoirArray("u", (n,)).register_boundary(PeriodicBoundary())
+    st = Stencil(1)
+    st.register_array(u)
+    k = Kernel(1, lambda t, x: u(t + 1, x) << u(t, x))
+    u.set_initial(np.ones(n))
+    run_phase1(st, 3, k)
+    assert st.cursor == 3
+    run_phase1(st, 2, k)
+    assert st.cursor == 5

@@ -1,0 +1,121 @@
+"""Tests for Pochoir shape declarations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.language.shape import Shape
+
+HEAT_2D = [(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)]
+
+
+class TestConstruction:
+    def test_figure6_shape(self):
+        s = Shape.from_cells(HEAT_2D)
+        assert s.ndim == 2
+        assert s.depth == 1
+        assert s.slopes == (1, 1)
+
+    def test_home_at_zero_frame(self):
+        # Section 2 frame: home at t, reads at t-1.
+        s = Shape.from_cells(
+            [(0, 0, 0), (-1, 1, 0), (-1, 0, 0), (-1, -1, 0), (-1, 0, 1),
+             (-1, 0, -1)]
+        )
+        assert s.depth == 1
+        assert s.slopes == (1, 1)
+
+    def test_two_frames_normalize_identically(self):
+        a = Shape.from_cells(HEAT_2D)
+        b = Shape.from_cells(
+            [(0, 0, 0), (-1, 0, 0), (-1, 1, 0), (-1, -1, 0), (-1, 0, -1),
+             (-1, 0, 1)]
+        )
+        assert set(a.cells) == set(b.cells)
+
+    def test_nonzero_home_spatial_rejected(self):
+        with pytest.raises(SpecificationError, match="home cell"):
+            Shape.from_cells([(1, 1, 0), (0, 0, 0)])
+
+    def test_future_cell_rejected(self):
+        with pytest.raises(SpecificationError, match="future|earlier"):
+            Shape.from_cells([(0, 0), (1, 1)])
+
+    def test_same_time_offset_cell_rejected(self):
+        # A non-home cell at the home's own time level is read-write hazard.
+        with pytest.raises(SpecificationError, match="earlier"):
+            Shape.from_cells([(1, 0), (1, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            Shape.from_cells([])
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(SpecificationError, match="arity"):
+            Shape.from_cells([(1, 0, 0), (0, 0)])
+
+    def test_duplicate_cells_deduplicated(self):
+        s = Shape.from_cells([(1, 0), (0, 1), (0, 1)])
+        assert len(s) == 2
+
+
+class TestProperties:
+    def test_depth_two(self):
+        s = Shape.from_cells([(1, 0), (0, 0), (-1, 0)])
+        assert s.depth == 2
+
+    def test_slope_ceil_division(self):
+        # offset 3 two steps back -> slope ceil(3/2) == 2
+        s = Shape.from_cells([(1, 0), (-1, 3)])
+        assert s.slopes == (2,)
+
+    def test_min_max_offsets(self):
+        s = Shape.from_cells([(1, 0, 0), (0, -2, 0), (0, 0, 3)])
+        lo, hi = s.min_max_offsets
+        assert lo == (-2, 0)
+        assert hi == (0, 3)
+
+    def test_contains(self):
+        s = Shape.from_cells(HEAT_2D)
+        assert s.contains(-1, (1, 0))
+        assert not s.contains(-1, (1, 1))
+
+    def test_union(self):
+        a = Shape.from_cells([(1, 0), (0, 1)])
+        b = Shape.from_cells([(1, 0), (0, -1)])
+        u = a.union(b)
+        assert u.contains(-1, (1,)) and u.contains(-1, (-1,))
+
+    def test_union_dim_mismatch(self):
+        a = Shape.from_cells([(1, 0)])
+        b = Shape.from_cells([(1, 0, 0)])
+        with pytest.raises(SpecificationError):
+            a.union(b)
+
+    def test_infer_from(self):
+        s = Shape.infer_from([(-1, 1), (-1, -1)], ndim=1)
+        assert s.cells[0] == (0, 0)
+        assert s.slopes == (1,)
+
+
+@given(
+    cells=st.lists(
+        st.tuples(
+            st.integers(min_value=-3, max_value=-1),
+            st.integers(min_value=-4, max_value=4),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_slopes_bound_offsets(cells):
+    """For every cell, |offset| <= slope * (-dt): the slope definition."""
+    shape = Shape.from_cells([(0, 0)] + [(dt, o) for dt, o in cells])
+    (sigma,) = shape.slopes
+    for dt, off in cells:
+        assert abs(off) <= sigma * (-dt)
+    # And the slope is tight: some cell achieves ceil equality.
+    if sigma > 0:
+        assert any(
+            -((-abs(off)) // (-dt)) == sigma for dt, off in cells
+        )

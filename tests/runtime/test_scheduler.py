@@ -1,0 +1,58 @@
+"""Tests for greedy-schedule simulation (the Figure 3 '12-core' model)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.scheduler import brent_time, simulate_greedy, simulated_speedup
+from repro.trap.plan import BaseRegion, PlanNode
+
+
+def _region(vol, t0=0):
+    return BaseRegion(ta=t0, tb=t0 + 1, dims=((0, vol, 0, 0),), interior=True)
+
+
+def test_brent_bound_limits():
+    # Fully serial computation: span == work, so T_P ~= T1 regardless of P.
+    assert brent_time(10.0, 100.0, 100.0, 12) == pytest.approx(10.0 + 10.0 / 12)
+    # Embarrassingly parallel: span ~ 0, so T_P ~ T1/P.
+    assert brent_time(12.0, 100.0, 1e-9, 12) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_brent_validates_processors():
+    with pytest.raises(ExecutionError):
+        brent_time(1.0, 1.0, 1.0, 0)
+
+
+def test_greedy_single_wave_balances():
+    plan = PlanNode.par([PlanNode.base(_region(10)) for _ in range(4)])
+    assert simulate_greedy(plan, 1) == 40
+    assert simulate_greedy(plan, 2) == 20
+    assert simulate_greedy(plan, 4) == 10
+    # More processors than tasks: bounded by the largest task.
+    assert simulate_greedy(plan, 100) == 10
+
+
+def test_greedy_respects_barriers():
+    # Two sequential waves of 2 tasks each: P=2 gives 2 steps of 10.
+    wave = lambda t: PlanNode.par(
+        [PlanNode.base(_region(10, t)), PlanNode.base(_region(10, t))]
+    )
+    plan = PlanNode.seq([wave(0), wave(1)])
+    assert simulate_greedy(plan, 2) == 20
+    assert simulate_greedy(plan, 4) == 20  # barrier prevents overlap
+
+
+def test_greedy_lpt_imbalance():
+    # Tasks 5, 3, 3, 3 on 2 procs: LPT packs {5,3} and {3,3} -> makespan 8
+    # (which is also optimal: no subset sums to 7).
+    plan = PlanNode.par(
+        [PlanNode.base(_region(v)) for v in (5, 3, 3, 3)]
+    )
+    assert simulate_greedy(plan, 2) == 8
+
+
+def test_speedup_monotone_in_processors():
+    plan = PlanNode.par([PlanNode.base(_region(v)) for v in range(1, 9)])
+    s2 = simulated_speedup(plan, 2)
+    s4 = simulated_speedup(plan, 4)
+    assert 1.0 < s2 <= s4

@@ -1,0 +1,33 @@
+"""Run the doctests embedded in public-API docstrings.
+
+These examples double as documentation; failing doctests mean the README
+style examples have drifted from the code.
+"""
+
+import doctest
+
+import pytest
+
+import repro.cachesim.ideal_cache
+import repro.language.shape
+import repro.language.stencil
+import repro.language.kernel
+import repro.trap.zoid
+import repro.util.tables
+import repro.util.timing
+
+MODULES = [
+    repro.cachesim.ideal_cache,
+    repro.language.shape,
+    repro.language.stencil,
+    repro.language.kernel,
+    repro.trap.zoid,
+    repro.util.tables,
+    repro.util.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module}"

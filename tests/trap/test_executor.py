@@ -1,0 +1,74 @@
+"""Tests for plan executors (serial, threaded) and the driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.language.stencil import RunOptions
+from repro.trap.driver import build_plan
+from repro.trap.executor import execute_plan
+from tests.conftest import ALL_MODES, make_heat_problem, run_reference
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    @pytest.mark.parametrize("algorithm", ["trap", "strap"])
+    def test_matches_reference(self, executor, algorithm):
+        sizes, T = (15, 14), 7
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        st_.run(
+            T,
+            k,
+            algorithm=algorithm,
+            executor=executor,
+            n_workers=3,
+            dt_threshold=2,
+            space_thresholds=(5, 5),
+        )
+        assert np.array_equal(u.snapshot(st_.cursor), ref)
+
+    def test_unknown_executor_rejected(self):
+        from repro.trap.plan import PlanNode, BaseRegion
+
+        plan = PlanNode.base(
+            BaseRegion(0, 1, ((0, 1, 0, 0),), interior=True)
+        )
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, compiled=None, executor="quantum")
+
+    def test_thread_worker_validation(self):
+        from repro.trap.executor import execute_threads
+        from repro.trap.plan import PlanNode, BaseRegion
+
+        plan = PlanNode.base(BaseRegion(0, 1, ((0, 1, 0, 0),), interior=True))
+        with pytest.raises(ExecutionError):
+            execute_threads(plan, None, 0)
+
+
+class TestDriver:
+    def test_build_plan_rejects_loops(self):
+        from repro.errors import SpecificationError
+
+        st_, u, k = make_heat_problem((8, 8))
+        problem = st_.prepare(2, k)
+        with pytest.raises(SpecificationError):
+            build_plan(problem, RunOptions(algorithm="loops"))
+
+    def test_collect_stats_toggle(self):
+        st_, u, k = make_heat_problem((16, 16))
+        rep = st_.run(4, k, collect_stats=False)
+        assert rep.points_updated == 16 * 16 * 4
+        st2, u2, k2 = make_heat_problem((16, 16))
+        rep2 = st2.run(4, k2, collect_stats=True)
+        assert rep2.points_updated == rep.points_updated
+        assert rep2.base_cases > 0
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_all_modes_through_driver(self, mode):
+        sizes, T = (12, 12), 5
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        rep = st_.run(T, k, mode=mode, dt_threshold=2, space_thresholds=(4, 4))
+        assert rep.mode == mode
+        assert np.array_equal(u.snapshot(st_.cursor), ref)

@@ -1,0 +1,76 @@
+"""Tests for the LOOPS baseline, including the shell partition."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trap.loops import _shell_boxes
+from tests.conftest import make_heat_problem, run_reference
+
+
+class TestShellBoxes:
+    @given(
+        sizes=st.lists(st.integers(min_value=2, max_value=9), min_size=1,
+                       max_size=3).map(tuple),
+        halo=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_partition_property(self, sizes, halo):
+        lo = tuple(min(halo, n) for n in sizes)
+        hi = tuple(max(n - halo, 0) for n in sizes)
+        if any(l >= h for l, h in zip(lo, hi)):
+            return  # degenerate: no interior; loops handle separately
+        boxes = _shell_boxes(sizes, lo, hi)
+        counts: dict = {}
+        for b_lo, b_hi in boxes:
+            for pt in product(*[range(a, b) for a, b in zip(b_lo, b_hi)]):
+                counts[pt] = counts.get(pt, 0) + 1
+        exterior = [
+            pt
+            for pt in product(*[range(n) for n in sizes])
+            if not all(l <= p < h for p, l, h in zip(pt, lo, hi))
+        ]
+        assert sorted(counts) == sorted(exterior)
+        assert all(c == 1 for c in counts.values())
+
+    def test_no_shell_when_box_is_grid(self):
+        assert _shell_boxes((4, 4), (0, 0), (4, 4)) == []
+
+
+class TestLoopExecution:
+    def test_serial_loops_match_reference(self):
+        sizes, T = (17, 13), 6
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        st_.run(T, k, algorithm="serial_loops")
+        assert np.array_equal(u.snapshot(st_.cursor), ref)
+
+    def test_parallel_loops_match_reference(self):
+        sizes, T = (17, 13), 6
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        st_.run(T, k, algorithm="loops", n_workers=3)
+        assert np.array_equal(u.snapshot(st_.cursor), ref)
+
+    def test_modulo_everywhere_matches(self):
+        from repro.compiler.pipeline import compile_kernel
+        from repro.trap.loops import run_loops
+
+        sizes, T = (11, 9), 5
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        problem = st_.prepare(T, k)
+        compiled = compile_kernel(problem, "split_pointer")
+        run_loops(problem, compiled, modulo_everywhere=True)
+        final_level = problem.t_end - 1
+        assert np.array_equal(u.data[final_level % u.slots], ref)
+
+    def test_tiny_grid_all_boundary(self):
+        # Grid smaller than the halo: no interior box at all.
+        sizes, T = (2, 2), 3
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        st_.run(T, k, algorithm="serial_loops")
+        assert np.array_equal(u.snapshot(st_.cursor), ref)

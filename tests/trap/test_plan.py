@@ -1,0 +1,100 @@
+"""Tests for plan trees, wave linearization and statistics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.trap.plan import (
+    BaseRegion,
+    PlanNode,
+    iter_base_serial,
+    linearize_waves,
+    map_base_regions,
+    plan_stats,
+)
+
+
+def region(ta=0, tb=1, lo=0, hi=4, interior=True):
+    return BaseRegion(ta=ta, tb=tb, dims=((lo, hi, 0, 0),), interior=interior)
+
+
+class TestNodes:
+    def test_single_child_collapsed(self):
+        b = PlanNode.base(region())
+        assert PlanNode.seq([b]) is b
+        assert PlanNode.par([b]) is b
+
+    def test_serial_iteration_order(self):
+        r1, r2, r3 = region(0, 1), region(1, 2), region(2, 3)
+        plan = PlanNode.seq(
+            [PlanNode.base(r1), PlanNode.par([PlanNode.base(r2), PlanNode.base(r3)])]
+        )
+        assert list(iter_base_serial(plan)) == [r1, r2, r3]
+
+
+class TestWaves:
+    def test_seq_concatenates(self):
+        r1, r2 = region(), region(1, 2)
+        plan = PlanNode.seq([PlanNode.base(r1), PlanNode.base(r2)])
+        assert linearize_waves(plan) == [[r1], [r2]]
+
+    def test_par_merges_elementwise(self):
+        r1, r2, r3 = region(), region(1, 2), region(2, 3)
+        left = PlanNode.seq([PlanNode.base(r1), PlanNode.base(r2)])
+        right = PlanNode.base(r3)
+        plan = PlanNode.par([left, right])
+        waves = linearize_waves(plan)
+        assert waves == [[r1, r3], [r2]]
+
+    def test_nested_structure(self):
+        rs = [region(i, i + 1) for i in range(4)]
+        plan = PlanNode.seq(
+            [
+                PlanNode.par([PlanNode.base(rs[0]), PlanNode.base(rs[1])]),
+                PlanNode.par([PlanNode.base(rs[2]), PlanNode.base(rs[3])]),
+            ]
+        )
+        waves = linearize_waves(plan)
+        assert len(waves) == 2
+        assert set(id(r) for r in waves[0]) == {id(rs[0]), id(rs[1])}
+
+    def test_waves_cover_all_regions(self):
+        rs = [region(i, i + 1) for i in range(5)]
+        plan = PlanNode.seq(
+            [
+                PlanNode.base(rs[0]),
+                PlanNode.par(
+                    [
+                        PlanNode.seq([PlanNode.base(rs[1]), PlanNode.base(rs[2])]),
+                        PlanNode.base(rs[3]),
+                    ]
+                ),
+                PlanNode.base(rs[4]),
+            ]
+        )
+        flat = [r for wave in linearize_waves(plan) for r in wave]
+        assert sorted(id(r) for r in flat) == sorted(id(r) for r in rs)
+
+
+class TestStats:
+    def test_counts(self):
+        r_int = region(interior=True)
+        r_bnd = region(interior=False)
+        plan = PlanNode.seq(
+            [PlanNode.base(r_int), PlanNode.par([PlanNode.base(r_bnd),
+                                                 PlanNode.base(r_int)])]
+        )
+        stats = plan_stats(plan)
+        assert stats.base_cases == 3
+        assert stats.interior_base_cases == 2
+        assert stats.boundary_base_cases == 1
+        assert stats.points == 12
+        assert stats.max_par_width == 2
+        assert 0 < stats.boundary_fraction < 1
+
+    def test_map_base_regions(self):
+        plan = PlanNode.seq([PlanNode.base(region()), PlanNode.base(region(1, 2))])
+        flipped = map_base_regions(
+            plan,
+            lambda r: BaseRegion(r.ta, r.tb, r.dims, interior=False),
+        )
+        assert all(not r.interior for r in iter_base_serial(flipped))

@@ -1,0 +1,90 @@
+"""Tests for zoid geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trap.zoid import Zoid, full_grid_zoid
+
+
+class TestBasics:
+    def test_full_grid(self):
+        z = full_grid_zoid(2, 6, (8, 10))
+        assert z.height == 4
+        assert z.dims == ((0, 8, 0, 0), (0, 10, 0, 0))
+        assert z.well_defined()
+
+    def test_widths_and_uprightness(self):
+        # Shrinking zoid: bottom 10, top 10 - 2*3 = 4.
+        z = Zoid(0, 3, ((0, 10, 1, -1),))
+        assert z.bottom_len(0) == 10
+        assert z.top_len(0) == 4
+        assert z.width(0) == 10
+        assert z.upright(0)
+
+    def test_inverted(self):
+        z = Zoid(0, 3, ((0, 4, -1, 1),))
+        assert z.top_len(0) == 10
+        assert not z.upright(0)
+
+    def test_minimal_upright_triangle(self):
+        z = Zoid(0, 2, ((0, 4, 1, -1),))  # top length 0
+        assert z.minimal(0)
+        assert z.is_minimal()
+
+    def test_minimal_inverted_triangle(self):
+        z = Zoid(0, 2, ((3, 3, -1, 1),))  # bottom length 0
+        assert z.minimal(0)
+
+    def test_non_minimal(self):
+        z = Zoid(0, 2, ((0, 10, 0, 0),))
+        assert not z.minimal(0)
+
+    def test_ill_defined_zero_height(self):
+        assert not Zoid(0, 0, ((0, 4, 0, 0),)).well_defined()
+
+    def test_ill_defined_negative_base(self):
+        assert not Zoid(0, 3, ((0, 2, 1, -1),)).well_defined()  # top = -4
+
+    def test_bounds_at(self):
+        z = Zoid(0, 3, ((0, 10, 1, -1),))
+        assert z.bounds_at(0) == ((0, 10),)
+        assert z.bounds_at(2) == ((2, 8),)
+
+
+class TestVolume:
+    def test_box_volume(self):
+        z = Zoid(0, 4, ((0, 5, 0, 0), (0, 3, 0, 0)))
+        assert z.volume() == 4 * 5 * 3
+
+    def test_triangle_volume(self):
+        z = Zoid(0, 3, ((0, 6, 1, -1),))  # lengths 6, 4, 2
+        assert z.volume() == 12
+
+    @given(
+        dt=st.integers(min_value=1, max_value=4),
+        base=st.integers(min_value=1, max_value=6),
+        dxa=st.integers(min_value=-1, max_value=1),
+        dxb=st.integers(min_value=-1, max_value=1),
+        base2=st.integers(min_value=1, max_value=5),
+    )
+    def test_volume_matches_point_enumeration(self, dt, base, dxa, dxb, base2):
+        z = Zoid(0, dt, ((0, base, dxa, dxb), (0, base2, 0, 0)))
+        assert z.volume() == sum(1 for _ in z.points())
+
+
+class TestSignature:
+    def test_translation_invariance(self):
+        a = Zoid(0, 3, ((0, 10, 1, -1),))
+        b = Zoid(7, 10, ((100, 110, 1, -1),))
+        assert a.signature() == b.signature()
+
+    def test_distinguishes_slopes(self):
+        a = Zoid(0, 3, ((0, 10, 1, -1),))
+        b = Zoid(0, 3, ((0, 10, -1, 1),))
+        assert a.signature() != b.signature()
+
+    def test_replace_dim(self):
+        z = Zoid(0, 3, ((0, 10, 0, 0), (0, 5, 0, 0)))
+        z2 = z.replace_dim(1, (1, 4, 1, -1))
+        assert z2.dims[1] == (1, 4, 1, -1)
+        assert z2.dims[0] == z.dims[0]

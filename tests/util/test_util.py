@@ -1,0 +1,73 @@
+"""Tests for the util package: tables, timing, integer math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import Table, Timer, ceil_div, ilog2, is_pow2, measure, next_pow2
+
+
+class TestIntMath:
+    @given(a=st.integers(-1000, 1000), b=st.integers(1, 100))
+    def test_ceil_div_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b
+
+    @given(n=st.integers(1, 1 << 40))
+    def test_ilog2_bounds(self, n):
+        k = ilog2(n)
+        assert 2**k <= n < 2 ** (k + 1)
+
+    def test_ilog2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    def test_is_pow2(self):
+        assert is_pow2(1) and is_pow2(64)
+        assert not is_pow2(0) and not is_pow2(12) and not is_pow2(-4)
+
+    @given(n=st.integers(1, 1 << 30))
+    def test_next_pow2(self, n):
+        p = next_pow2(n)
+        assert is_pow2(p) and p >= n and (p == 1 or p // 2 < n)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "val"])
+        t.add_row(["a", 1.0])
+        t.add_row(["bbb", 22.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "22.50" in out
+
+    def test_title(self):
+        t = Table(["x"], title="hello")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "hello"
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        assert Table.format_cell(0.000123) == "0.000123"
+        assert Table.format_cell(1234567.0) == "1.23e+06"
+        assert Table.format_cell(1.5) == "1.50"
+        assert Table.format_cell(0.0) == "0"
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        tm = Timer()
+        with tm:
+            pass
+        first = tm.elapsed
+        with tm:
+            pass
+        assert tm.elapsed >= first >= 0
+
+    def test_measure_returns_positive(self):
+        t = measure(lambda: sum(range(100)), repeat=2, warmup=1)
+        assert t > 0
