@@ -1,0 +1,154 @@
+"""Barrier removal: wave execution vs the task-DAG runtime.
+
+The wave executor realizes Lemma 1's "k+1 parallel steps" with a barrier
+between fronts, so every front waits for its slowest zoid.  The task-DAG
+runtime (``executor="dag"``) drops the barriers: a region runs the
+moment its true predecessors finish — the schedule the paper's Cilk
+runtime produces by work-stealing the spawn tree.
+
+Two measurements on Figure-9-style plans (2D heat, 3D wave geometries):
+
+* **modeled makespan** — :func:`simulate_greedy` (barrier waves) vs
+  :func:`simulate_dag` (true DAG) at several processor counts, in
+  grid-point units.  Checked property: the DAG schedule is never worse
+  and strictly better somewhere — the win that motivated the runtime.
+* **wall time** — a real 2D heat run under ``executor="threads"`` vs
+  ``executor="dag"`` on the same thread count, results bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_util import is_tiny, once, wall
+from repro.analysis.reporting import series_table
+from repro.runtime.scheduler import simulate_dag, simulate_greedy
+from repro.trap.plan import dependency_graph
+from repro.trap.walker import decompose, default_options, walk_spec_for
+from repro.trap.zoid import full_grid_zoid
+from tests.conftest import make_heat_problem
+
+PROCESSORS = (2, 4, 8, 12, 16)
+
+_series: dict[str, dict] = {}
+
+
+def _cases():
+    if is_tiny():
+        return {
+            "heat2d": dict(sizes=(64, 64), slopes=(1, 1), height=32,
+                           dt=3, thresholds=(8, 8)),
+            "wave3d": dict(sizes=(16, 16, 16), slopes=(1, 1, 1), height=16,
+                           dt=3, thresholds=(5, 5, 5)),
+        }
+    return {
+        "heat2d": dict(sizes=(200, 200), slopes=(1, 1), height=64,
+                       dt=4, thresholds=(16, 16)),
+        "wave3d": dict(sizes=(24, 24, 24), slopes=(1, 1, 1), height=24,
+                       dt=3, thresholds=(6, 6, 6)),
+    }
+
+
+def _build_plan(cfg):
+    ndim = len(cfg["sizes"])
+    spec = walk_spec_for(
+        cfg["sizes"], cfg["slopes"], (-1,) * ndim, (1,) * ndim
+    )
+    opts = default_options(
+        ndim,
+        cfg["sizes"],
+        dt_threshold=cfg["dt"],
+        space_thresholds=cfg["thresholds"],
+        protect_unit_stride=False,
+    )
+    return decompose(
+        full_grid_zoid(1, 1 + cfg["height"], cfg["sizes"]), spec, opts
+    )
+
+
+@pytest.mark.parametrize("case", ["heat2d", "wave3d"])
+def test_dag_vs_waves_makespan(benchmark, case):
+    cfg = _cases()[case]
+
+    def run():
+        plan = _build_plan(cfg)
+        graph = dependency_graph(plan)  # build once, sweep P over it
+        waves = [simulate_greedy(plan, p) for p in PROCESSORS]
+        dags = [simulate_dag(graph, p) for p in PROCESSORS]
+        return waves, dags
+
+    waves, dags = once(benchmark, run)
+    _series[case] = {"waves": waves, "dags": dags}
+
+    # The acceptance property: never worse, strictly better somewhere.
+    for p, w, d in zip(PROCESSORS, waves, dags):
+        assert d <= w, f"{case} P={p}: DAG {d} worse than waves {w}"
+    assert any(d < w for w, d in zip(waves, dags)), (
+        f"{case}: removing barriers should win at some processor count"
+    )
+    benchmark.extra_info.update(
+        {
+            "makespan_waves": [round(w) for w in waves],
+            "makespan_dag": [round(d) for d in dags],
+            "barrier_penalty": [
+                round(w / d, 3) if d else 1.0 for w, d in zip(waves, dags)
+            ],
+        }
+    )
+
+
+def test_dag_vs_waves_walltime(benchmark):
+    """Real execution: the same heat problem under both parallel
+    executors, identical results required."""
+    sizes, T = ((96, 96), 24) if is_tiny() else ((768, 768), 64)
+    workers = 4
+
+    def run_both():
+        st1, u1, k1 = make_heat_problem(sizes, boundary="periodic")
+        t_waves = wall(
+            lambda: st1.run(T, k1, executor="threads", n_workers=workers)
+        )
+        r1 = u1.snapshot(st1.cursor)
+        st2, u2, k2 = make_heat_problem(sizes, boundary="periodic")
+        t_dag = wall(
+            lambda: st2.run(T, k2, executor="dag", n_workers=workers)
+        )
+        r2 = u2.snapshot(st2.cursor)
+        return t_waves, t_dag, r1, r2
+
+    t_waves, t_dag, r1, r2 = once(benchmark, run_both)
+    assert np.array_equal(r1, r2), "executors disagree bitwise"
+    ratio = t_waves / t_dag if t_dag > 0 else 1.0
+    benchmark.extra_info.update(
+        {
+            "walltime_waves_s": round(t_waves, 3),
+            "walltime_dag_s": round(t_dag, 3),
+            "waves_over_dag": round(ratio, 2),
+        }
+    )
+    print(
+        f"\n[dag-vs-waves] 2D heat {sizes[0]}^2 x {T}, {workers} workers: "
+        f"waves {t_waves:.3f}s vs DAG {t_dag:.3f}s -> {ratio:.2f}x"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    for case, s in _series.items():
+        print(
+            "\n"
+            + series_table(
+                f"Barrier removal ({case}): modeled makespan vs P "
+                f"(grid-point units; waves barrier each Lemma-1 front)",
+                "P",
+                PROCESSORS,
+                {
+                    "waves (barrier)": s["waves"],
+                    "task DAG": s["dags"],
+                    "barrier penalty": [
+                        w / d if d else 1.0
+                        for w, d in zip(s["waves"], s["dags"])
+                    ],
+                },
+            )
+        )

@@ -17,6 +17,8 @@ those form the cache key.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -40,20 +42,33 @@ class CompiledKernel:
     sources: dict[str, str] = field(default_factory=dict)
 
 
-#: (ir cache key, mode) -> CompiledKernel
-_CACHE: dict[tuple, CompiledKernel] = {}
+#: (ir cache key, mode, array tokens) -> CompiledKernel, LRU-ordered.
+#: Bounded: compiled kernels close over their arrays' buffers, and cache
+#: tokens are never reused, so an unbounded cache would pin one full
+#: grid per short-lived stencil forever (e.g. a parameter sweep that
+#: builds a fresh array per iteration).  Locked: nested runs make
+#: compile_kernel reachable from worker threads, and the LRU's
+#: get/move_to_end/evict sequence is not atomic.
+_CACHE: "OrderedDict[tuple, CompiledKernel]" = OrderedDict()
+_CACHE_LIMIT = 64
+_CACHE_LOCK = threading.Lock()
 
 
 def available_modes() -> tuple[str, ...]:
-    """Codegen modes usable on this machine."""
-    modes = ["interp", "macro_shadow", "split_pointer"]
+    """Codegen modes usable on this machine.
+
+    Includes ``"auto"`` (the documented default), so callers that
+    validate a user-supplied mode against this list accept it.
+    """
+    modes = ["auto", "interp", "macro_shadow", "split_pointer"]
     if codegen_c.find_c_compiler() is not None:
         modes.append("c")
     return tuple(modes)
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
 
 
 def compile_kernel(problem: Problem, mode: str = "auto") -> CompiledKernel:
@@ -61,12 +76,27 @@ def compile_kernel(problem: Problem, mode: str = "auto") -> CompiledKernel:
     if mode == "auto":
         mode = "split_pointer"
     ir = build_ir(problem)
-    key = (ir.cache_key(), mode, tuple(id(a.data) for a in ir.arrays.values()))
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
+    # Keyed on each array's monotonic cache_token, not id(a.data): object
+    # ids are reused after garbage collection, and a reused id would
+    # silently return a stale kernel closed over a dead array's buffer.
+    # Const arrays need the same treatment — kernels close over their
+    # values, and ir.cache_key() carries only their names.
+    key = (
+        ir.cache_key(),
+        mode,
+        tuple(a.cache_token for a in ir.arrays.values()),
+        tuple(c.cache_token for c in ir.const_arrays.values()),
+    )
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
     compiled = _compile_ir(ir, mode)
-    _CACHE[key] = compiled
+    with _CACHE_LOCK:
+        _CACHE[key] = compiled
+        while len(_CACHE) > _CACHE_LIMIT:
+            _CACHE.popitem(last=False)
     return compiled
 
 

@@ -20,6 +20,7 @@ The same object plays three roles, mirroring the paper's API:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -78,6 +79,9 @@ class PochoirArray:
         time slots.
     """
 
+    #: Process-wide monotonic id source for :attr:`cache_token`.
+    _token_counter = itertools.count()
+
     def __init__(
         self,
         name: str,
@@ -100,6 +104,12 @@ class PochoirArray:
         self.slots = depth + 1
         self.data = np.zeros((self.slots, *sizes), dtype=dtype)
         self.boundary: Boundary | None = None
+        #: Process-unique, never-reused identity for compiled-kernel
+        #: caching.  ``id(self.data)`` is NOT usable for that purpose: CPython
+        #: reuses addresses after garbage collection, which would silently
+        #: serve a stale compiled kernel (closed over a dead buffer) to a
+        #: new array that happens to land at the same address.
+        self.cache_token = next(PochoirArray._token_counter)
         #: Highest time level written so far (levels 0..depth-1 are assumed
         #: to be initialized by the user before the first run).
         self._latest = depth - 1
@@ -280,6 +290,10 @@ class ConstArray:
             raise SpecificationError(f"array name must be an identifier: {name!r}")
         self.name = name
         self.values = np.asarray(values, dtype=np.float64)
+        #: Same never-reused identity discipline as PochoirArray: compiled
+        #: kernels close over these values, so the cache must distinguish
+        #: const arrays beyond their names.
+        self.cache_token = next(PochoirArray._token_counter)
 
     @property
     def sizes(self) -> tuple[int, ...]:

@@ -49,8 +49,12 @@ class RunOptions:
         heuristics (2D: 100x100x5; >=3D: never cut the unit-stride
         dimension, small blocks, 3 time steps).
     ``executor``:
-        ``"serial"`` (serial elision) or ``"threads"`` (thread pool over
-        dependency levels).
+        ``"serial"`` (serial elision, streamed off the walker),
+        ``"threads"`` (thread pool over barrier-separated waves),
+        ``"dag"`` (ready-queue task-DAG runtime: no inter-wave barriers),
+        or ``"auto"`` (the default: ``"dag"`` for ``algorithm="trap"``
+        with ``n_workers > 1``, ``"threads"`` for other plan algorithms
+        with ``n_workers > 1``, else ``"serial"``).
     """
 
     algorithm: str = "trap"
@@ -58,7 +62,7 @@ class RunOptions:
     dt_threshold: int | None = None
     space_thresholds: tuple[int, ...] | None = None
     protect_unit_stride: bool | None = None
-    executor: str = "serial"
+    executor: str = "auto"
     n_workers: int | None = None
     collect_stats: bool = True
 
@@ -73,15 +77,51 @@ class RunOptions:
             raise SpecificationError(
                 f"unknown mode {self.mode!r}; choose from {modes}"
             )
-        if self.executor not in ("serial", "threads"):
+        executors = ("auto", "serial", "threads", "dag")
+        if self.executor not in executors:
             raise SpecificationError(
-                f"unknown executor {self.executor!r}; choose 'serial' or 'threads'"
+                f"unknown executor {self.executor!r}; choose from {executors}"
             )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise SpecificationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+
+    def resolve_executor(self) -> tuple[str, int]:
+        """Concrete (executor, worker count) for this option set.
+
+        ``"auto"`` picks the task-DAG runtime for TRAP whenever more than
+        one worker is requested; with ``n_workers`` unset the serial
+        elision runs (parallel execution is opt-in via ``n_workers``).
+        """
+        from repro.trap.executor import default_workers
+
+        executor = self.executor
+        requested = self.n_workers
+        if executor == "auto":
+            if requested is not None and requested > 1:
+                executor = "dag" if self.algorithm == "trap" else "threads"
+            else:
+                executor = "serial"
+        if executor == "serial":
+            return executor, 1
+        return executor, default_workers(requested)
 
 
 @dataclass
 class RunReport:
-    """What a Phase-2 run did: timings and decomposition statistics."""
+    """What a Phase-2 run did: timings, executor, and decomposition stats.
+
+    ``elapsed`` covers decomposition + schedule construction + execution
+    under one clock for every executor (the serial stream interleaves
+    walking with running, so the parallel executors' plan/graph builds
+    are included to keep the numbers comparable).  ``executor`` /
+    ``n_workers`` record the *resolved* execution strategy (after
+    ``"auto"`` dispatch); ``busy_time`` sums wall time the workers spent
+    inside base-case kernels, so ``idle_fraction`` measures the
+    scheduling overhead (barrier stalls, ready-queue contention,
+    plan construction).
+    """
 
     algorithm: str
     mode: str
@@ -92,10 +132,21 @@ class RunReport:
     base_cases: int = 0
     boundary_base_cases: int = 0
     interior_base_cases: int = 0
+    executor: str = "serial"
+    n_workers: int = 1
+    busy_time: float = 0.0
 
     @property
     def points_per_second(self) -> float:
         return self.points_updated / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of worker capacity spent not running kernels."""
+        capacity = self.elapsed * self.n_workers
+        if capacity <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_time / capacity)
 
 
 @dataclass

@@ -4,18 +4,28 @@ The paper measures scalability with Cilkview (Figure 9), which reports
 *work* (T1) and *span* (T-infinity) of the computation DAG.  We compute
 the same quantities exactly from the same DAG the walkers generate
 (:mod:`repro.runtime.workspan`), and simulate greedy P-processor
-schedules over decomposition plans (:mod:`repro.runtime.scheduler`) to
+schedules over decomposition plans (:mod:`repro.runtime.scheduler`) —
+both the barrier-wave model and true task-DAG list scheduling — to
 produce the "12-core" columns of Figure 3 on hardware that lacks 12
-cores.
+cores and to quantify the barrier-removal win of the DAG executor.
 """
 
 from repro.runtime.workspan import WorkSpan, analyze_loops, analyze_walk
-from repro.runtime.scheduler import brent_time, simulate_greedy
+from repro.runtime.scheduler import (
+    brent_time,
+    simulate_dag,
+    simulate_greedy,
+    simulated_dag_speedup,
+    simulated_speedup,
+)
 
 __all__ = [
     "WorkSpan",
     "analyze_loops",
     "analyze_walk",
     "brent_time",
+    "simulate_dag",
     "simulate_greedy",
+    "simulated_dag_speedup",
+    "simulated_speedup",
 ]

@@ -9,37 +9,67 @@ This package implements Section 3 of the paper:
   Lemma-1 dependency levels, and time cuts.
 * :mod:`repro.trap.walker` — the recursive TRAP decomposition (hyperspace
   cuts) and the STRAP variant (serial space cuts) that Figure 9 compares.
-* :mod:`repro.trap.plan` — materialized decomposition trees (Seq/Par/Base)
-  plus wave linearization.
+* :mod:`repro.trap.plan` — decomposition trees (Seq/Par/Base) and their
+  flat event-stream form, plus wave linearization.
+* :mod:`repro.trap.graph` — dependency-counted task DAGs built
+  incrementally from the event stream (predecessor counts + successor
+  lists, with join-node edge contraction).
 * :mod:`repro.trap.loops` — the LOOPS baseline of Figure 1.
-* :mod:`repro.trap.executor` — serial and threaded plan execution.
+* :mod:`repro.trap.executor` — serial (streaming), barrier-wave, and
+  ready-queue task-DAG plan execution over a shared worker pool.
 * :mod:`repro.trap.driver` — glue from a language-level Problem to a
   compiled, decomposed, executed run.
 """
 
 from repro.trap.zoid import Zoid, full_grid_zoid
 from repro.trap.cuts import CutDecision, choose_cut
-from repro.trap.walker import WalkOptions, WalkSpec, decompose, walk_spec_for
-from repro.trap.plan import BaseRegion, PlanNode, iter_base_serial, linearize_waves, plan_stats
+from repro.trap.walker import (
+    WalkOptions,
+    WalkSpec,
+    decompose,
+    decompose_events,
+    walk_spec_for,
+)
+from repro.trap.plan import (
+    BaseRegion,
+    PlanNode,
+    dependency_graph,
+    iter_base_serial,
+    linearize_waves,
+    plan_events,
+    plan_from_events,
+    plan_stats,
+)
+from repro.trap.graph import TaskGraph, TaskGraphBuilder, build_task_graph
 from repro.trap.loops import run_loops
-from repro.trap.executor import execute_plan
+from repro.trap.executor import execute_dag, execute_plan, get_pool, shutdown_pool
 from repro.trap.driver import execute_problem
 
 __all__ = [
     "BaseRegion",
     "CutDecision",
     "PlanNode",
+    "TaskGraph",
+    "TaskGraphBuilder",
     "WalkOptions",
     "WalkSpec",
     "Zoid",
+    "build_task_graph",
     "choose_cut",
     "decompose",
+    "decompose_events",
+    "dependency_graph",
+    "execute_dag",
     "execute_plan",
     "execute_problem",
     "full_grid_zoid",
+    "get_pool",
     "iter_base_serial",
     "linearize_waves",
+    "plan_events",
+    "plan_from_events",
     "plan_stats",
     "run_loops",
+    "shutdown_pool",
     "walk_spec_for",
 ]

@@ -4,6 +4,15 @@ This is the glue :meth:`repro.language.Stencil.run` calls for Phase-2
 execution.  It owns nothing algorithmic — it wires the compiler pipeline,
 the walkers, the loop baseline and the executors together and fills in a
 :class:`~repro.language.stencil.RunReport`.
+
+Executor dispatch (``RunOptions.resolve_executor``):
+
+* ``"serial"`` — streams base regions straight off the walker's event
+  generator; no plan or graph is ever materialized.
+* ``"threads"`` — materializes the plan tree and runs barrier waves.
+* ``"dag"`` — folds the event stream into a dependency-counted
+  :class:`~repro.trap.graph.TaskGraph` (still no tree) and runs the
+  ready-queue executor.
 """
 
 from __future__ import annotations
@@ -13,14 +22,25 @@ import time
 from repro.errors import SpecificationError
 from repro.language.stencil import Problem, RunOptions, RunReport
 from repro.trap.loops import run_loops
-from repro.trap.executor import execute_plan
-from repro.trap.plan import plan_stats
-from repro.trap.walker import decompose, default_options, walk_spec_for
+from repro.trap.executor import (
+    default_workers,
+    execute_dag,
+    execute_serial_stream,
+    execute_waves,
+)
+from repro.trap.graph import build_task_graph
+from repro.trap.plan import plan_stats, stats_from_regions
+from repro.trap.walker import (
+    decompose,
+    decompose_events,
+    default_options,
+    walk_spec_for,
+)
 from repro.trap.zoid import full_grid_zoid
 
 
-def build_plan(problem: Problem, options: RunOptions):
-    """Decompose the problem's space-time grid per the selected algorithm."""
+def _walk_setup(problem: Problem, options: RunOptions):
+    """Shared geometry for both walker output paths."""
     if options.algorithm not in ("trap", "strap"):
         raise SpecificationError(
             f"build_plan only handles trap/strap, got {options.algorithm!r}"
@@ -36,7 +56,21 @@ def build_plan(problem: Problem, options: RunOptions):
         hyperspace=(options.algorithm == "trap"),
     )
     top = full_grid_zoid(problem.t_start, problem.t_end, problem.sizes)
+    return top, spec, opts
+
+
+def build_plan(problem: Problem, options: RunOptions):
+    """Decompose the problem's space-time grid per the selected algorithm
+    into a materialized plan tree."""
+    top, spec, opts = _walk_setup(problem, options)
     return decompose(top, spec, opts)
+
+
+def build_events(problem: Problem, options: RunOptions):
+    """The streaming counterpart of :func:`build_plan`: a lazy plan-event
+    generator (no tree)."""
+    top, spec, opts = _walk_setup(problem, options)
+    return decompose_events(top, spec, opts)
 
 
 def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
@@ -57,33 +91,65 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
 
     if options.algorithm in ("loops", "serial_loops"):
         parallel = options.algorithm == "loops"
+        if parallel:
+            report.n_workers = default_workers(options.n_workers)
+        report.executor = "loops" if parallel else "serial"
         t0 = time.perf_counter()
-        invocations = run_loops(
+        invocations, busy = run_loops(
             problem,
             compiled,
             parallel=parallel,
             n_workers=options.n_workers,
         )
         report.elapsed = time.perf_counter() - t0
+        report.busy_time = busy
         report.points_updated = problem.total_points
         report.base_cases = invocations
         return report
 
-    plan = build_plan(problem, options)
+    executor, n_workers = options.resolve_executor()
+
+    # One timing window for every executor: decomposition + scheduling
+    # structure + execution.  The serial stream interleaves walking with
+    # running, so including plan/graph construction for the parallel
+    # executors is what keeps `elapsed` comparable across them.
     t0 = time.perf_counter()
-    execute_plan(
-        plan,
-        compiled,
-        executor=options.executor,
-        n_workers=options.n_workers,
-    )
-    report.elapsed = time.perf_counter() - t0
-    if options.collect_stats:
-        stats = plan_stats(plan)
-        report.points_updated = stats.points
-        report.base_cases = stats.base_cases
-        report.interior_base_cases = stats.interior_base_cases
-        report.boundary_base_cases = stats.boundary_base_cases
+    if executor == "serial":
+        stats = execute_serial_stream(
+            build_events(problem, options),
+            compiled,
+            collect_stats=options.collect_stats,
+        )
+    elif executor == "dag":
+        graph = build_task_graph(build_events(problem, options))
+        stats = execute_dag(graph, compiled, n_workers)
+    elif executor == "threads":
+        plan = build_plan(problem, options)
+        stats = execute_waves(plan, compiled, n_workers)
+    else:  # pragma: no cover - resolve_executor guarantees the above
+        raise SpecificationError(f"unknown executor {executor!r}")
+    elapsed = time.perf_counter() - t0
+
+    # Region statistics are reporting: for the parallel executors they
+    # are collected outside the timed window; the serial stream exists
+    # only once, so its (cheap) accounting runs inline above.
+    region_stats = stats.region_stats
+    if region_stats is None and options.collect_stats:
+        if executor == "dag":
+            region_stats = stats_from_regions(graph.iter_regions())
+        elif executor == "threads":
+            region_stats = plan_stats(plan)
+
+    report.executor = stats.executor
+    report.n_workers = stats.n_workers
+    report.elapsed = elapsed
+    report.busy_time = stats.busy_time
+    report.base_cases = stats.base_cases
+    if options.collect_stats and region_stats is not None:
+        report.points_updated = region_stats.points
+        report.base_cases = region_stats.base_cases
+        report.interior_base_cases = region_stats.interior_base_cases
+        report.boundary_base_cases = region_stats.boundary_base_cases
     else:
         report.points_updated = problem.total_points
     return report

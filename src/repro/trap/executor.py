@@ -1,28 +1,207 @@
-"""Plan executors: serial elision and thread-pool wave execution.
+"""Plan executors: serial elision, barrier waves, and the task-DAG runtime.
 
 The Cilk runtime of the paper schedules the spawned subzoids with work
-stealing.  Here the serial executor is the "serial elision" (depth-first,
-one thread), and the threaded executor runs the plan's dependency-safe
-*waves* (:func:`repro.trap.plan.linearize_waves`) on a thread pool with a
-barrier between waves — exactly the "k+1 parallel steps" execution model
-Lemma 1 proves sufficient.  NumPy and C kernels release the GIL for the
-bulk of their work, so threads provide real parallelism on multi-core
-hosts; the *scalability analysis* for Figure 9, however, comes from the
-work/span analyzer (:mod:`repro.runtime.workspan`), not from wall-clock
-threading, mirroring how the paper separates Cilkview measurements from
-runtime measurements.
+stealing.  Three executors approximate it at different fidelities:
+
+* ``"serial"`` — the serial elision: depth-first, one thread, streamed
+  straight off the walker's event generator (no plan materialized).
+* ``"threads"`` — the barrier-wave executor: the plan's dependency-safe
+  *waves* (:func:`repro.trap.plan.linearize_waves`) on a thread pool with
+  a barrier between waves — Lemma 1's "k+1 parallel steps" model.  Each
+  wave waits for its slowest zoid; retained as the comparison baseline.
+* ``"dag"`` — the ready-queue task-DAG runtime: workers pull any region
+  whose predecessor count (:class:`repro.trap.graph.TaskGraph`) hits
+  zero.  No inter-wave barriers — a region runs the moment its actual
+  dependencies finish, the closest analogue of Cilk's greedy execution
+  of the spawn tree.
+
+NumPy and C kernels release the GIL for the bulk of their work, so
+threads provide real parallelism on multi-core hosts; the *scalability
+analysis* for Figure 9 comes from the work/span analyzer
+(:mod:`repro.runtime.workspan`) and the schedule simulators
+(:mod:`repro.runtime.scheduler`), mirroring how the paper separates
+Cilkview measurements from runtime measurements.
+
+Worker threads live in one process-wide pool (:func:`get_pool`) that
+repeated ``Stencil.run`` calls reuse; it grows on demand and is never
+recreated per call.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ExecutionError
-from repro.trap.plan import BaseRegion, PlanNode, iter_base_serial, linearize_waves
+from repro.trap.graph import TaskGraph, build_task_graph
+from repro.trap.plan import (
+    BaseRegion,
+    PlanEvent,
+    PlanNode,
+    PlanStats,
+    iter_base_events,
+    iter_base_serial,
+    linearize_waves,
+    plan_events,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.pipeline import CompiledKernel
+
+
+def default_workers(n_workers: int | None) -> int:
+    """The worker count a ``None`` request resolves to (one per core).
+
+    The single source of the default: executor dispatch, the loop
+    baseline, and the run report all use this, so the reported count is
+    always the count that actually ran.
+    """
+    import os
+
+    return n_workers or max(1, (os.cpu_count() or 2))
+
+
+# -- the shared worker pool ---------------------------------------------------
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+#: Outgrown pools, kept alive (not shut down) until shutdown_pool():
+#: a concurrent run may still hold one and submit to it; shutting it
+#: down under that run would raise "cannot schedule new futures after
+#: shutdown" mid-flight.  The cost is that each retired pool's idle
+#: threads persist until shutdown_pool()/interpreter exit — bounded by
+#: the number of one-time growth events (an ascending 2,4,8,16 sweep
+#: strands 14 idle threads, worst case), accepted as the price of
+#: nested- and concurrent-run safety.
+_retired_pools: list[ThreadPoolExecutor] = []
+
+
+def get_pool(n_workers: int) -> ThreadPoolExecutor:
+    """The process-wide worker pool, grown to at least ``n_workers``.
+
+    Hoisted out of the executors so repeated runs reuse threads instead
+    of paying pool construction per call.
+    """
+    global _pool, _pool_size
+    if n_workers < 1:
+        raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
+    with _pool_lock:
+        if _pool is None or _pool_size < n_workers:
+            if _pool is not None:
+                _retired_pools.append(_pool)
+            _pool = ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix="repro-worker"
+            )
+            _pool_size = n_workers
+        return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; interpreter exit does it too)."""
+    global _pool, _pool_size
+    with _pool_lock:
+        for old in _retired_pools:
+            old.shutdown(wait=True)
+        _retired_pools.clear()
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = None
+        _pool_size = 0
+
+
+def _in_worker_thread() -> bool:
+    """True when called from a shared-pool worker — i.e. a *nested* run
+    (a user kernel or boundary function invoking ``Stencil.run``).  A
+    nested parallel run must not wait on the pool that is running it
+    (deadlock: the outer workers occupy every slot), so parallel paths
+    degrade to inline execution here, as the old per-call pools
+    effectively allowed."""
+    return threading.current_thread().name.startswith("repro-worker")
+
+
+# -- execution statistics -----------------------------------------------------
+
+
+@dataclass
+class ExecStats:
+    """What one plan execution did (feeds ``RunReport``).
+
+    ``busy_time`` sums the wall time workers spent inside base-case
+    kernels.  ``wall_time`` covers *execution only*; the driver's
+    ``RunReport.elapsed`` uses its own window that additionally includes
+    plan/graph construction, and ``RunReport.idle_fraction`` divides
+    ``busy_time`` by that wider window — so the reported idle fraction
+    counts schedule construction as overhead, by design.
+    """
+
+    executor: str
+    n_workers: int = 1
+    base_cases: int = 0
+    wall_time: float = 0.0
+    busy_time: float = 0.0
+    region_stats: PlanStats | None = None
+
+
+def join_all(futures) -> list:
+    """Wait for *every* future, then re-raise the first exception.
+
+    The shared pool outlives any one call, so propagating an exception
+    before the siblings finish would leave them still writing the grid
+    while the caller inspects it.
+    """
+    results = []
+    error: BaseException | None = None
+    for f in futures:
+        try:
+            results.append(f.result())
+        except BaseException as exc:
+            error = error or exc
+    if error is not None:
+        raise error
+    return results
+
+
+def run_bounded(
+    pool: ThreadPoolExecutor, fns: list, n_workers: int
+) -> float:
+    """Run zero-arg callables (each returning busy seconds) with at most
+    ``n_workers`` executing concurrently; returns summed busy time.
+
+    The shared pool may be wider than this run's request (it grows to
+    the largest count ever asked for), so the per-run cap is enforced
+    here: ``min(n_workers, len(fns))`` puller loops drain a shared
+    queue.  On an exception the pullers stop taking new work, finish
+    what is in flight, and the first error propagates.
+    """
+    if not fns:
+        return 0.0
+    if len(fns) == 1 or n_workers == 1 or _in_worker_thread():
+        return sum(fn() for fn in fns)
+    work: deque = deque(fns)
+    lock = threading.Lock()
+    failed: list[bool] = []
+
+    def puller() -> float:
+        busy = 0.0
+        while True:
+            with lock:
+                if not work or failed:
+                    return busy
+                fn = work.popleft()
+            try:
+                busy += fn()
+            except BaseException:
+                failed.append(True)
+                raise
+
+    futures = [pool.submit(puller) for _ in range(min(n_workers, len(fns)))]
+    return sum(join_all(futures))
 
 
 def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
@@ -41,6 +220,9 @@ def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
             hi[i] += dhi[i]
 
 
+# -- serial -------------------------------------------------------------------
+
+
 def execute_serial(plan: PlanNode, compiled: "CompiledKernel") -> int:
     """Depth-first serial execution; returns the number of base cases."""
     count = 0
@@ -50,27 +232,201 @@ def execute_serial(plan: PlanNode, compiled: "CompiledKernel") -> int:
     return count
 
 
+def execute_serial_stream(
+    events: Iterable[PlanEvent],
+    compiled: "CompiledKernel",
+    *,
+    collect_stats: bool = True,
+) -> ExecStats:
+    """Serial elision straight off an event stream: regions execute as the
+    walker produces them, so the plan is never materialized.
+
+    With ``collect_stats`` the per-region accounting runs inline (the
+    stream exists only once, so it cannot happen outside the timed
+    window); ``collect_stats=False`` pays only a counter.
+    """
+    stats = PlanStats() if collect_stats else None
+    count = 0
+    t0 = time.perf_counter()
+    for region in iter_base_events(events):
+        run_base_region(region, compiled)
+        count += 1
+        if stats is not None:
+            stats.note_region(region)
+    wall = time.perf_counter() - t0
+    return ExecStats(
+        executor="serial",
+        n_workers=1,
+        base_cases=count,
+        wall_time=wall,
+        busy_time=wall,
+        region_stats=stats,
+    )
+
+
+# -- barrier waves ------------------------------------------------------------
+
+
 def execute_threads(
     plan: PlanNode, compiled: "CompiledKernel", n_workers: int
 ) -> int:
     """Wave-parallel execution with a barrier between waves."""
+    return execute_waves(plan, compiled, n_workers).base_cases
+
+
+def execute_waves(
+    plan: PlanNode, compiled: "CompiledKernel", n_workers: int
+) -> ExecStats:
+    """Wave-parallel execution (barrier between waves) with stats."""
     if n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
     waves = linearize_waves(plan)
     count = 0
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        for wave in waves:
-            count += len(wave)
-            if len(wave) == 1:
-                run_base_region(wave[0], compiled)
-            else:
-                futures = [
-                    pool.submit(run_base_region, region, compiled)
-                    for region in wave
-                ]
-                for f in futures:
-                    f.result()  # propagate exceptions
-    return count
+    busy = 0.0
+    # Honest reporting for degenerate runs: when every wave is a single
+    # region, or this is a nested run inside a worker thread, execution
+    # is effectively serial — report one worker, like execute_dag does.
+    widest = max((len(w) for w in waves), default=1)
+    eff_workers = 1 if (_in_worker_thread() or widest <= 1) else n_workers
+    pool = get_pool(n_workers) if eff_workers > 1 else None
+
+    def timed(region: BaseRegion) -> float:
+        t0 = time.perf_counter()
+        run_base_region(region, compiled)
+        return time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for wave in waves:
+        count += len(wave)
+        if pool is None:
+            busy += sum(timed(region) for region in wave)
+        else:
+            busy += run_bounded(
+                pool, [partial(timed, region) for region in wave], n_workers
+            )
+    wall = time.perf_counter() - t0
+    return ExecStats(
+        executor="threads",
+        n_workers=eff_workers,
+        base_cases=count,
+        wall_time=wall,
+        busy_time=busy,
+    )
+
+
+# -- the task-DAG runtime -----------------------------------------------------
+
+
+def execute_dag(
+    graph: TaskGraph, compiled: "CompiledKernel", n_workers: int
+) -> ExecStats:
+    """Ready-queue execution of a task DAG: no inter-wave barriers.
+
+    ``n_workers`` workers (from the shared pool) repeatedly pull a region
+    whose predecessor count reached zero, run it, and decrement its
+    successors' counts; zero-cost join nodes propagate instantly.  With
+    one worker this degenerates to node-id order — the serial elision.
+    """
+    if n_workers < 1:
+        raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
+
+    npred = list(graph.npred)
+    regions = graph.regions
+
+    if n_workers == 1 or graph.n_tasks <= 1 or _in_worker_thread():
+        # Node-id order is a valid serial schedule (edges point forward).
+        # Also the nested-run path: see _in_worker_thread.
+        t0 = time.perf_counter()
+        for region in graph.iter_regions():
+            run_base_region(region, compiled)
+        wall = time.perf_counter() - t0
+        return ExecStats(
+            executor="dag",
+            n_workers=1,
+            base_cases=graph.n_tasks,
+            wall_time=wall,
+            busy_time=wall,
+        )
+
+    ready: deque[int] = deque()
+    cond = threading.Condition()
+    state = {"remaining": graph.n_tasks, "in_flight": 0, "error": None}
+    graph.seed_ready(npred, ready.append)
+
+    def _worker_loop() -> float:
+        busy = 0.0
+        while True:
+            with cond:
+                while (
+                    not ready
+                    and state["remaining"] > 0
+                    and state["error"] is None
+                    and state["in_flight"] > 0
+                ):
+                    cond.wait()
+                if state["remaining"] <= 0 or state["error"] is not None:
+                    return busy
+                if not ready:
+                    # Nothing ready, nothing running, tasks pending: the
+                    # graph is inconsistent (a predecessor count that can
+                    # never reach zero).  Error out rather than hang.
+                    state["error"] = ExecutionError(
+                        f"DAG execution stalled with {state['remaining']} "
+                        f"tasks pending (cyclic or inconsistent graph)"
+                    )
+                    cond.notify_all()
+                    return busy
+                nid = ready.popleft()
+                state["in_flight"] += 1
+            t0 = time.perf_counter()
+            try:
+                run_base_region(regions[nid], compiled)
+            except BaseException as exc:  # propagate to the caller
+                with cond:
+                    state["error"] = exc
+                    cond.notify_all()
+                return busy
+            busy += time.perf_counter() - t0
+            with cond:
+                state["remaining"] -= 1
+                state["in_flight"] -= 1
+                graph.complete(nid, npred, ready.append)
+                if (
+                    ready
+                    or state["remaining"] == 0
+                    or state["in_flight"] == 0
+                ):
+                    cond.notify_all()
+
+    def worker() -> float:
+        try:
+            return _worker_loop()
+        except BaseException as exc:
+            # A crash in the loop's own bookkeeping (not a kernel error —
+            # the loop handles those): record it and wake the peers, or
+            # they would wait forever on a notify that never comes.
+            with cond:
+                if state["error"] is None:
+                    state["error"] = exc
+                cond.notify_all()
+            raise
+
+    pool = get_pool(n_workers)
+    t0 = time.perf_counter()
+    busy = sum(join_all([pool.submit(worker) for _ in range(n_workers)]))
+    wall = time.perf_counter() - t0
+    if state["error"] is not None:
+        raise state["error"]
+    return ExecStats(
+        executor="dag",
+        n_workers=n_workers,
+        base_cases=graph.n_tasks,
+        wall_time=wall,
+        busy_time=busy,
+    )
+
+
+# -- dispatch -----------------------------------------------------------------
 
 
 def execute_plan(
@@ -79,13 +435,13 @@ def execute_plan(
     *,
     executor: str = "serial",
     n_workers: int | None = None,
-) -> int:
-    """Run a plan with the selected executor; returns base-case count."""
+) -> ExecStats:
+    """Run a materialized plan with the selected executor."""
     if executor == "serial":
-        return execute_serial(plan, compiled)
-    if executor == "threads":
-        import os
-
-        workers = n_workers or max(1, (os.cpu_count() or 2))
-        return execute_threads(plan, compiled, workers)
+        return execute_serial_stream(plan_events(plan), compiled)
+    if executor in ("threads", "dag"):
+        workers = default_workers(n_workers)
+        if executor == "threads":
+            return execute_waves(plan, compiled, workers)
+        return execute_dag(build_task_graph(plan_events(plan)), compiled, workers)
     raise ExecutionError(f"unknown executor {executor!r}")

@@ -15,10 +15,12 @@ baselines use (bulk untested, edges handled separately).  Options:
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import time
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.language.stencil import Problem
+from repro.trap.executor import default_workers, get_pool, run_bounded
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.pipeline import CompiledKernel
@@ -59,18 +61,29 @@ def run_loops(
     parallel: bool = False,
     n_workers: int | None = None,
     modulo_everywhere: bool = False,
-) -> int:
-    """Run the loop baseline; returns the number of clone invocations."""
+) -> tuple[int, float]:
+    """Run the loop baseline.
+
+    Returns ``(clone invocations, busy seconds)`` — busy time sums the
+    wall time spent inside kernel clones across all workers, feeding the
+    run report's idle-fraction accounting like the plan executors do.
+    """
     sizes = problem.sizes
     d = problem.ndim
+
+    def timed(clone, t, lo, hi) -> float:
+        t0 = time.perf_counter()
+        clone(t, lo, hi)
+        return time.perf_counter() - t0
 
     if modulo_everywhere:
         zero = (0,) * d
         count = 0
+        busy = 0.0
         for t in range(problem.t_start, problem.t_end):
-            compiled.boundary(t, zero, sizes)
+            busy += timed(compiled.boundary, t, zero, sizes)
             count += 1
-        return count
+        return count, busy
 
     # Largest interior box: reads at offset range [min_off, max_off] must
     # stay inside [0, N).
@@ -81,9 +94,7 @@ def run_loops(
 
     count = 0
     if parallel:
-        import os
-
-        workers = n_workers or max(1, (os.cpu_count() or 2))
+        workers = default_workers(n_workers)
         chunks: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
         if has_interior:
             n_chunks = max(1, min(workers * 2, hi[0] - lo[0]))
@@ -95,25 +106,29 @@ def run_loops(
         shells = _shell_boxes(sizes, lo, hi) if has_interior else [
             ((0,) * d, sizes)
         ]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for t in range(problem.t_start, problem.t_end):
-                futures = [
-                    pool.submit(compiled.interior, t, c_lo, c_hi)
+        pool = get_pool(workers)  # shared, reused across runs
+        busy = 0.0
+        for t in range(problem.t_start, problem.t_end):
+            busy += run_bounded(
+                pool,
+                [
+                    partial(timed, compiled.interior, t, c_lo, c_hi)
                     for c_lo, c_hi in chunks
-                ]
-                for f in futures:
-                    f.result()
-                for s_lo, s_hi in shells:
-                    compiled.boundary(t, s_lo, s_hi)
-                count += len(chunks) + len(shells)
-        return count
+                ],
+                workers,
+            )
+            for s_lo, s_hi in shells:
+                busy += timed(compiled.boundary, t, s_lo, s_hi)
+            count += len(chunks) + len(shells)
+        return count, busy
 
     shells = _shell_boxes(sizes, lo, hi) if has_interior else [((0,) * d, sizes)]
+    busy = 0.0
     for t in range(problem.t_start, problem.t_end):
         if has_interior:
-            compiled.interior(t, lo, hi)
+            busy += timed(compiled.interior, t, lo, hi)
             count += 1
         for s_lo, s_hi in shells:
-            compiled.boundary(t, s_lo, s_hi)
+            busy += timed(compiled.boundary, t, s_lo, s_hi)
             count += 1
-    return count
+    return count, busy

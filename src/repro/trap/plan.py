@@ -1,4 +1,4 @@
-"""Materialized decomposition plans: Seq/Par trees over base-case regions.
+"""Decomposition plans: Seq/Par trees (or streams) over base-case regions.
 
 A walker (:mod:`repro.trap.walker`) turns a zoid into a :class:`PlanNode`
 tree whose leaves are :class:`BaseRegion` objects.  The tree encodes the
@@ -9,21 +9,44 @@ exact dependency structure of the recursion:
 * ``Par`` children are mutually independent (one dependency level —
   Lemma 1 guarantees same-level subzoids form an antichain).
 
-:func:`linearize_waves` flattens a plan into *waves*: a list of lists of
-base regions such that every dependency of wave ``i`` lives in a wave
-``< i``.  Waves are what the threaded executor runs with barriers between
-them — precisely the "k+1 parallel steps" execution model of Lemma 1 —
-and merging Par branches wave-by-wave is safe exactly because Par
-children are independent.
+The same structure also exists as a flat *event stream* (the generator
+path): ``("open", kind)`` / ``("close", kind)`` bracket a Seq or Par
+group, ``("base", region)`` emits a leaf.  :func:`plan_events` flattens a
+tree into events and :func:`plan_from_events` folds events back into a
+tree; :func:`repro.trap.walker.decompose_events` produces the stream
+directly so huge plans never materialize.
+
+Two execution-facing flattenings exist:
+
+* :func:`linearize_waves` — *waves*: a list of lists of base regions such
+  that every dependency of wave ``i`` lives in a wave ``< i``.  Waves are
+  what the threaded wave executor runs with barriers between them — the
+  "k+1 parallel steps" execution model of Lemma 1.  Merging Par branches
+  wave-by-wave is safe exactly because Par children are independent, but
+  the barrier serializes each wave behind its slowest zoid.
+* :func:`dependency_graph` — the *task DAG*: per-base-region predecessor
+  counts and successor lists derived from the Seq/Par structure (built by
+  :mod:`repro.trap.graph`).  A Seq boundary orders only the *sinks* of
+  one child before the *sources* of the next, so independent subtrees
+  overlap freely; this is the no-barrier schedule the ready-queue
+  executor (``executor="dag"``) runs, the closest analogue of the paper's
+  Cilk work-stealing execution of the spawn tree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ExecutionError
 from repro.trap.zoid import DimExtent, Zoid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trap.graph import TaskGraph
+
+#: One element of the flat plan-event stream: ``("base", BaseRegion)``,
+#: ``("open", "seq"|"par")`` or ``("close", "seq"|"par")``.
+PlanEvent = tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,6 +115,87 @@ def iter_base_serial(plan: PlanNode) -> Iterator[BaseRegion]:
             stack.extend(reversed(node.children))
 
 
+def plan_events(plan: PlanNode) -> Iterator[PlanEvent]:
+    """Flatten a plan tree into the event stream (module docstring).
+
+    Inverse of :func:`plan_from_events`; produces the exact stream the
+    walker's generator path would have produced for the same geometry.
+    """
+    # Explicit stack: plan trees nest ~(log T + d log N) Seq/Par groups,
+    # and callers may already be deep in recursive walkers.
+    stack: list[PlanEvent | PlanNode] = [plan]
+    while stack:
+        item = stack.pop()
+        if not isinstance(item, PlanNode):
+            yield item
+            continue
+        if item.kind == "base":
+            assert item.region is not None
+            yield ("base", item.region)
+        else:
+            yield ("open", item.kind)
+            stack.append(("close", item.kind))
+            stack.extend(reversed(item.children))
+
+
+def plan_from_events(events: Iterable[PlanEvent]) -> PlanNode:
+    """Fold an event stream back into a materialized plan tree."""
+    stack: list[tuple[str, list[PlanNode]]] = []
+    root: PlanNode | None = None
+    for event in events:
+        tag = event[0]
+        if tag == "open":
+            stack.append((event[1], []))
+            continue
+        if tag == "base":
+            node = PlanNode.base(event[1])
+        elif tag == "close":
+            if not stack or stack[-1][0] != event[1]:
+                raise ExecutionError(f"unbalanced plan event {event!r}")
+            kind, children = stack.pop()
+            if not children:
+                raise ExecutionError(f"empty {kind!r} group in event stream")
+            node = (
+                PlanNode.seq(children) if kind == "seq" else PlanNode.par(children)
+            )
+        else:
+            raise ExecutionError(f"unknown plan event {event!r}")
+        if stack:
+            stack[-1][1].append(node)
+        elif root is None:
+            root = node
+        else:
+            raise ExecutionError("plan event stream has multiple roots")
+    if root is None or stack:
+        raise ExecutionError("truncated plan event stream")
+    return root
+
+
+def iter_base_events(events: Iterable[PlanEvent]) -> Iterator[BaseRegion]:
+    """Base regions of an event stream in valid serial (depth-first) order.
+
+    The streaming counterpart of :func:`iter_base_serial`: the serial
+    executor runs directly off this, so no tree is ever materialized.
+    """
+    for event in events:
+        if event[0] == "base":
+            yield event[1]
+
+
+def dependency_graph(plan: PlanNode) -> "TaskGraph":
+    """Per-base-region dependency edges of a plan: predecessor counts plus
+    successor lists (a :class:`repro.trap.graph.TaskGraph`).
+
+    A Seq node contributes edges from the sinks of each child to the
+    sources of the next; Par children contribute none.  This is the exact
+    dependency structure the tree encodes — strictly weaker than the
+    barrier-wave order, which is what the DAG executor exploits.
+    """
+    from repro.trap.graph import build_task_graph
+
+    return build_task_graph(plan_events(plan))
+
+
 def linearize_waves(plan: PlanNode) -> list[list[BaseRegion]]:
     """Flatten a plan into dependency-respecting waves (module docstring)."""
     if plan.kind == "base":
@@ -136,6 +240,26 @@ class PlanStats:
 
     boundary_points: int = 0
 
+    def note_region(self, region: BaseRegion) -> None:
+        """Fold one base region into the totals (streaming accumulation)."""
+        self.base_cases += 1
+        vol = region.volume()
+        self.points += vol
+        if region.interior:
+            self.interior_base_cases += 1
+        else:
+            self.boundary_base_cases += 1
+            self.boundary_points += vol
+
+
+def stats_from_regions(regions: Iterable[BaseRegion]) -> PlanStats:
+    """Accumulate :class:`PlanStats` from a region stream (no tree needed;
+    Seq/Par node counts stay zero)."""
+    stats = PlanStats()
+    for region in regions:
+        stats.note_region(region)
+    return stats
+
 
 def plan_stats(plan: PlanNode) -> PlanStats:
     """Walk a plan and collect :class:`PlanStats`."""
@@ -145,14 +269,7 @@ def plan_stats(plan: PlanNode) -> PlanStats:
         node = stack.pop()
         if node.kind == "base":
             assert node.region is not None
-            stats.base_cases += 1
-            vol = node.region.volume()
-            stats.points += vol
-            if node.region.interior:
-                stats.interior_base_cases += 1
-            else:
-                stats.boundary_base_cases += 1
-                stats.boundary_points += vol
+            stats.note_region(node.region)
         elif node.kind == "seq":
             stats.seq_nodes += 1
             stack.extend(node.children)

@@ -1,4 +1,4 @@
-"""The recursive TRAP/STRAP walkers: zoid in, plan tree out.
+"""The recursive TRAP/STRAP walkers: zoid in, plan tree (or stream) out.
 
 ``decompose`` implements the control flow of Figure 2: hyperspace cut if
 any dimension admits a parallel space cut, else time cut, else base case —
@@ -7,17 +7,28 @@ STRAP (the Frigo–Strumpen-style comparison algorithm of Section 3's
 analysis) is the same walker with ``hyperspace=False``: it cuts only the
 first cuttable dimension per recursion step, so a cascade of k space cuts
 costs 2^k parallel steps instead of k+1.
+
+The walker has two output paths over one recursion:
+
+* :func:`decompose_events` — the *generator* path: a depth-first stream of
+  structure events (see :mod:`repro.trap.plan`) that never materializes
+  the tree.  The serial executor and the task-DAG builder
+  (:mod:`repro.trap.graph`) both consume this stream, so huge plans run
+  with O(frontier) memory instead of O(plan).
+* :func:`decompose` — folds the same event stream into a materialized
+  :class:`~repro.trap.plan.PlanNode` tree (wave executor, cache tracer,
+  schedule simulators).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.errors import SpecificationError
 from repro.trap.coarsening import default_dt_threshold, default_space_thresholds
 from repro.trap.cuts import choose_cut, time_cut_children
-from repro.trap.plan import BaseRegion, PlanNode
+from repro.trap.plan import BaseRegion, PlanEvent, PlanNode, plan_from_events
 from repro.trap.zoid import Zoid
 
 
@@ -116,16 +127,33 @@ def default_options(
 def decompose(z: Zoid, spec: WalkSpec, opts: WalkOptions) -> PlanNode:
     """Recursively decompose ``z`` into a plan tree (Figure 2).
 
+    This folds :func:`decompose_events` into a materialized tree, so the
+    two paths can never disagree about the decomposition.
+    """
+    return plan_from_events(decompose_events(z, spec, opts))
+
+
+def decompose_events(
+    z: Zoid, spec: WalkSpec, opts: WalkOptions
+) -> Iterator[PlanEvent]:
+    """Stream the decomposition of ``z`` as plan events (generator path).
+
+    Yields the event vocabulary of :mod:`repro.trap.plan` in depth-first
+    order without building any tree nodes.  Single-child Seq/Par groups
+    are collapsed exactly as the :class:`PlanNode` constructors collapse
+    them, so ``plan_events(decompose(...))`` and ``decompose_events(...)``
+    produce identical streams.
+
     Interior/boundary classification is *inherited*: all subzoids of an
     interior zoid are interior (the observation Section 4 exploits), so
     the predicate is evaluated once per interior subtree, not per leaf.
     """
-    return _decompose(z, spec, opts, known_interior=False)
+    return _events(z, spec, opts, known_interior=False)
 
 
-def _decompose(
+def _events(
     z: Zoid, spec: WalkSpec, opts: WalkOptions, known_interior: bool
-) -> PlanNode:
+) -> Iterator[PlanEvent]:
     interior = known_interior or spec.is_interior(z)
     decision = choose_cut(
         z,
@@ -137,21 +165,38 @@ def _decompose(
         hyperspace=opts.hyperspace,
     )
     if decision.kind == "base":
-        return PlanNode.base(
-            BaseRegion(ta=z.ta, tb=z.tb, dims=z.dims, interior=interior)
-        )
+        yield ("base", BaseRegion(ta=z.ta, tb=z.tb, dims=z.dims, interior=interior))
+        return
     if decision.kind == "time":
         lower, upper = time_cut_children(z, decision.tm)
-        return PlanNode.seq(
-            [
-                _decompose(lower, spec, opts, interior),
-                _decompose(upper, spec, opts, interior),
-            ]
-        )
+        yield ("open", "seq")
+        yield from _events(lower, spec, opts, interior)
+        yield from _events(upper, spec, opts, interior)
+        yield ("close", "seq")
+        return
     # Hyperspace (or single, for STRAP) space cut: levels run in sequence,
     # zoids within one level in parallel (Lemma 1).
-    level_nodes = [
-        PlanNode.par([_decompose(sub, spec, opts, interior) for sub in level])
-        for level in decision.levels
-    ]
-    return PlanNode.seq(level_nodes)
+    levels = decision.levels
+    if len(levels) == 1:
+        yield from _level_events(levels[0], z, spec, opts, interior)
+        return
+    yield ("open", "seq")
+    for level in levels:
+        yield from _level_events(level, z, spec, opts, interior)
+    yield ("close", "seq")
+
+
+def _level_events(
+    level: tuple[Zoid, ...],
+    z: Zoid,
+    spec: WalkSpec,
+    opts: WalkOptions,
+    interior: bool,
+) -> Iterator[PlanEvent]:
+    if len(level) == 1:
+        yield from _events(level[0], spec, opts, interior)
+        return
+    yield ("open", "par")
+    for sub in level:
+        yield from _events(sub, spec, opts, interior)
+    yield ("close", "par")

@@ -26,6 +26,18 @@ def test_available_modes_minimum():
     assert "split_pointer" in modes
 
 
+def test_available_modes_includes_auto():
+    """The documented default mode must pass validation against the list
+    of usable modes (callers gate user-supplied modes on it)."""
+    modes = available_modes()
+    assert "auto" in modes
+    # Every advertised mode must be accepted by RunOptions.
+    from repro.language.stencil import RunOptions
+
+    for mode in modes:
+        RunOptions(mode=mode)
+
+
 def test_auto_is_split_pointer():
     st, u, k = make_heat_problem((8, 8))
     compiled = compile_kernel(st.prepare(1, k), "auto")
@@ -53,6 +65,86 @@ def test_cache_distinguishes_arrays():
     c1 = compile_kernel(st1.prepare(1, k1), "split_pointer")
     c2 = compile_kernel(st2.prepare(1, k2), "split_pointer")
     assert c1 is not c2  # different backing buffers
+
+
+def test_cache_is_bounded():
+    """Tokens are never reused, so without an eviction bound the cache
+    would pin one compiled kernel (and its arrays' buffers) per
+    short-lived stencil forever."""
+    import repro.compiler.pipeline as pipeline
+
+    clear_cache()
+    for _ in range(pipeline._CACHE_LIMIT + 8):
+        st, u, k = make_heat_problem((8, 8))
+        compile_kernel(st.prepare(1, k), "interp")
+    assert len(pipeline._CACHE) <= pipeline._CACHE_LIMIT
+
+
+def test_cache_distinguishes_const_arrays():
+    """Regression: kernels close over ConstArray values, but the IR cache
+    key carries only const-array *names* — two stencils with same-named
+    const arrays holding different values must not share a kernel."""
+    import numpy as np
+
+    from repro import ConstArray, Kernel, PochoirArray, Stencil
+
+    # One shared state array (same cache token) so only the const arrays
+    # can tell the two compilations apart.
+    u = PochoirArray("u", (4,))
+    u.set_initial(np.zeros(4))
+
+    def make(cval):
+        c = ConstArray("c", np.full(4, cval))
+        st = Stencil(1)
+        st.register_array(u)
+        st.register_const_array(c)
+        k = Kernel(1, lambda t, x: u(t + 1, x) << c(x) + 0.0 * u(t, x))
+        return st, k
+
+    st1, k1 = make(1.0)
+    st1.run(1, k1, mode="split_pointer")
+    assert np.allclose(u.snapshot(st1.cursor), 1.0)
+    st2, k2 = make(2.0)
+    st2.run(1, k2, mode="split_pointer")
+    assert np.allclose(u.snapshot(st2.cursor), 2.0), (
+        "second stencil was served the first stencil's kernel "
+        "(stale const-array closure)"
+    )
+
+
+def test_array_cache_tokens_never_reused():
+    """Tokens stay unique even when arrays (and their buffers) die and
+    CPython reuses the heap addresses — the id()-reuse hazard the cache
+    key must not have."""
+    import gc
+
+    from repro import PochoirArray
+
+    seen = set()
+    for _ in range(50):
+        u = PochoirArray("u", (8, 8))
+        assert u.cache_token not in seen
+        seen.add(u.cache_token)
+        del u
+        gc.collect()
+
+
+def test_cache_never_serves_stale_kernel_for_new_array(monkeypatch):
+    """Regression: keying on id(a.data) hands a *new* array the compiled
+    kernel of a dead one whenever CPython recycles the address.  Address
+    reuse is nondeterministic, so simulate the collision: shadow id() in
+    the pipeline module with a constant.  A key with any id() dependence
+    then collides across distinct arrays and serves the stale kernel."""
+    import repro.compiler.pipeline as pipeline
+
+    monkeypatch.setattr(pipeline, "id", lambda obj: 0xDEAD, raising=False)
+    st1, u1, k1 = make_heat_problem((8, 8), seed=0)
+    c1 = compile_kernel(st1.prepare(1, k1), "split_pointer")
+    st2, u2, k2 = make_heat_problem((8, 8), seed=1)
+    c2 = compile_kernel(st2.prepare(1, k2), "split_pointer")
+    assert c2 is not c1
+    assert c1.ir.arrays["u"] is u1
+    assert c2.ir.arrays["u"] is u2
 
 
 def test_python_boundary_forces_per_point_boundary_clone():

@@ -20,9 +20,10 @@ def has_c_backend() -> bool:
     return "c" in available_modes()
 
 
-#: Codegen modes to sweep in equivalence tests (C included when a
-#: toolchain exists).
-ALL_MODES = list(available_modes())
+#: Concrete codegen modes to sweep in equivalence tests (C included when
+#: a toolchain exists).  "auto" is excluded: it is an alias for one of
+#: the concrete modes, not a distinct backend.
+ALL_MODES = [m for m in available_modes() if m != "auto"]
 
 BOUNDARY_FACTORIES = {
     "periodic": PeriodicBoundary,

@@ -1,4 +1,4 @@
-"""Tests for plan executors (serial, threaded) and the driver."""
+"""Tests for plan executors (serial, waves, task DAG) and the driver."""
 
 import numpy as np
 import pytest
@@ -6,18 +6,30 @@ import pytest
 from repro.errors import ExecutionError
 from repro.language.stencil import RunOptions
 from repro.trap.driver import build_plan
-from repro.trap.executor import execute_plan
+from repro.trap.executor import execute_plan, get_pool
 from tests.conftest import ALL_MODES, make_heat_problem, run_reference
 
 
+class _CountingKernel:
+    """A fake CompiledKernel whose clones just count invocations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def interior(self, t, lo, hi):
+        self.calls += 1
+
+    boundary = interior
+
+
 class TestExecutors:
-    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    @pytest.mark.parametrize("executor", ["serial", "threads", "dag"])
     @pytest.mark.parametrize("algorithm", ["trap", "strap"])
     def test_matches_reference(self, executor, algorithm):
         sizes, T = (15, 14), 7
         ref = run_reference(sizes, T)
         st_, u, k = make_heat_problem(sizes)
-        st_.run(
+        rep = st_.run(
             T,
             k,
             algorithm=algorithm,
@@ -27,6 +39,8 @@ class TestExecutors:
             space_thresholds=(5, 5),
         )
         assert np.array_equal(u.snapshot(st_.cursor), ref)
+        assert rep.executor == executor
+        assert rep.n_workers == (1 if executor == "serial" else 3)
 
     def test_unknown_executor_rejected(self):
         from repro.trap.plan import PlanNode, BaseRegion
@@ -44,6 +58,178 @@ class TestExecutors:
         plan = PlanNode.base(BaseRegion(0, 1, ((0, 1, 0, 0),), interior=True))
         with pytest.raises(ExecutionError):
             execute_threads(plan, None, 0)
+
+    def test_dag_worker_validation(self):
+        from repro.trap.executor import execute_dag
+        from repro.trap.graph import TaskGraph
+
+        with pytest.raises(ExecutionError):
+            execute_dag(TaskGraph(), None, 0)
+
+    def test_dag_stall_raises_instead_of_hanging(self):
+        """An inconsistent graph (a predecessor count that never reaches
+        zero) must error out, not leave the workers blocked forever."""
+        from repro.trap.executor import execute_dag
+        from repro.trap.graph import TaskGraph
+        from repro.trap.plan import BaseRegion
+
+        r = BaseRegion(0, 1, ((0, 2, 0, 0),), interior=True)
+        broken = TaskGraph(
+            regions=[r, r], npred=[0, 2], succs=[[1], []], n_tasks=2
+        )
+        with pytest.raises(ExecutionError, match="stalled"):
+            execute_dag(broken, _CountingKernel(), 2)
+
+    def test_dag_kernel_error_propagates(self):
+        st_, u, k = make_heat_problem((16, 16))
+        problem = st_.prepare(4, k)
+        from repro.trap.driver import build_events
+        from repro.trap.executor import execute_dag
+        from repro.trap.graph import build_task_graph
+
+        class Boom(RuntimeError):
+            pass
+
+        class BrokenKernel:
+            def _fail(self, *a):
+                raise Boom("kernel exploded")
+
+            interior = boundary = property(lambda self: self._fail)
+
+        opts = RunOptions(dt_threshold=2, space_thresholds=(5, 5))
+        graph = build_task_graph(build_events(problem, opts))
+        with pytest.raises(Boom):
+            execute_dag(graph, BrokenKernel(), 3)
+
+
+class TestAutoExecutor:
+    def test_auto_defaults_to_serial_without_workers(self):
+        assert RunOptions().resolve_executor() == ("serial", 1)
+        assert RunOptions(n_workers=1).resolve_executor() == ("serial", 1)
+
+    def test_auto_picks_dag_for_parallel_trap(self):
+        assert RunOptions(n_workers=4).resolve_executor() == ("dag", 4)
+
+    def test_auto_picks_waves_for_parallel_strap(self):
+        opts = RunOptions(algorithm="strap", n_workers=4)
+        assert opts.resolve_executor() == ("threads", 4)
+
+    def test_explicit_executor_wins(self):
+        opts = RunOptions(executor="threads", n_workers=2)
+        assert opts.resolve_executor() == ("threads", 2)
+
+    def test_invalid_options_rejected(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            RunOptions(executor="quantum")
+        with pytest.raises(SpecificationError):
+            RunOptions(n_workers=0)
+
+    def test_run_report_records_dag_execution(self):
+        sizes, T = (15, 14), 7
+        ref = run_reference(sizes, T)
+        st_, u, k = make_heat_problem(sizes)
+        rep = st_.run(T, k, n_workers=3, dt_threshold=2, space_thresholds=(5, 5))
+        assert np.array_equal(u.snapshot(st_.cursor), ref)
+        assert rep.executor == "dag"
+        assert rep.n_workers == 3
+        assert rep.base_cases > 0
+        assert 0.0 < rep.busy_time
+        assert 0.0 <= rep.idle_fraction < 1.0
+
+
+class TestSharedPool:
+    def test_wave_executor_respects_worker_cap(self):
+        """The shared pool may be wider than this run's request (it holds
+        the largest count ever asked for); the per-run n_workers cap must
+        still bind."""
+        import threading
+        import time as _time
+
+        from repro.trap.executor import execute_waves
+        from repro.trap.plan import BaseRegion, PlanNode
+
+        get_pool(6)  # an earlier run grew the pool
+
+        lock = threading.Lock()
+        state = {"now": 0, "max": 0}
+
+        class SlowKernel:
+            def interior(self, t, lo, hi):
+                with lock:
+                    state["now"] += 1
+                    state["max"] = max(state["max"], state["now"])
+                _time.sleep(0.01)
+                with lock:
+                    state["now"] -= 1
+
+            boundary = interior
+
+        wave = PlanNode.par(
+            [
+                PlanNode.base(
+                    BaseRegion(0, 1, ((4 * i, 4 * i + 4, 0, 0),), interior=True)
+                )
+                for i in range(8)
+            ]
+        )
+        stats = execute_waves(wave, SlowKernel(), 2)
+        assert stats.base_cases == 8
+        assert state["max"] <= 2
+
+
+    def test_pool_reused_across_runs(self):
+        p1 = get_pool(2)
+        p2 = get_pool(2)
+        assert p1 is p2
+
+    def test_pool_grows_when_needed(self):
+        p_small = get_pool(1)
+        p_big = get_pool(max(3, p_small._max_workers + 1))
+        assert p_big._max_workers >= 3
+        assert get_pool(2) is p_big  # smaller requests keep the big pool
+
+    def test_nested_parallel_run_does_not_deadlock(self):
+        """A kernel/boundary callback may invoke Stencil.run; a nested
+        parallel run must not wait on the pool that is executing it."""
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        from repro.trap.executor import execute_dag, execute_waves
+        from repro.trap.graph import build_task_graph
+        from repro.trap.plan import BaseRegion, PlanNode, plan_events
+
+        plan = PlanNode.par(
+            [
+                PlanNode.base(
+                    BaseRegion(0, 1, ((4 * i, 4 * i + 4, 0, 0),), interior=True)
+                )
+                for i in range(4)
+            ]
+        )
+        graph = build_task_graph(plan_events(plan))
+        kernel = _CountingKernel()
+
+        def nested_waves():
+            return execute_waves(plan, kernel, 2).base_cases
+
+        def nested_dag():
+            return execute_dag(graph, kernel, 2).base_cases
+
+        pool = get_pool(2)
+        futures = [pool.submit(nested_waves), pool.submit(nested_dag)]
+        try:
+            results = [f.result(timeout=30) for f in futures]
+        except FuturesTimeout:
+            pytest.fail("nested parallel run deadlocked on the shared pool")
+        assert results == [4, 4]
+
+    def test_repeated_runs_share_threads(self):
+        st_, u, k = make_heat_problem((16, 16))
+        st_.run(2, k, executor="threads", n_workers=2)
+        pool = get_pool(2)
+        st_.run(2, k, executor="threads", n_workers=2)
+        assert get_pool(2) is pool
 
 
 class TestDriver:

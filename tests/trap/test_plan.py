@@ -1,4 +1,4 @@
-"""Tests for plan trees, wave linearization and statistics."""
+"""Tests for plan trees, the event-stream form, waves and statistics."""
 
 import pytest
 
@@ -6,10 +6,14 @@ from repro.errors import ExecutionError
 from repro.trap.plan import (
     BaseRegion,
     PlanNode,
+    iter_base_events,
     iter_base_serial,
     linearize_waves,
     map_base_regions,
+    plan_events,
+    plan_from_events,
     plan_stats,
+    stats_from_regions,
 )
 
 
@@ -75,6 +79,53 @@ class TestWaves:
         assert sorted(id(r) for r in flat) == sorted(id(r) for r in rs)
 
 
+class TestEvents:
+    def _sample_plan(self):
+        rs = [region(i, i + 1) for i in range(5)]
+        return rs, PlanNode.seq(
+            [
+                PlanNode.base(rs[0]),
+                PlanNode.par(
+                    [
+                        PlanNode.seq([PlanNode.base(rs[1]), PlanNode.base(rs[2])]),
+                        PlanNode.base(rs[3]),
+                    ]
+                ),
+                PlanNode.base(rs[4]),
+            ]
+        )
+
+    def test_round_trip(self):
+        _, plan = self._sample_plan()
+        assert plan_from_events(plan_events(plan)) == plan
+
+    def test_events_match_serial_order(self):
+        rs, plan = self._sample_plan()
+        assert list(iter_base_events(plan_events(plan))) == list(
+            iter_base_serial(plan)
+        )
+
+    def test_single_base_round_trip(self):
+        plan = PlanNode.base(region())
+        assert plan_from_events(plan_events(plan)) == plan
+
+    def test_truncated_stream_rejected(self):
+        _, plan = self._sample_plan()
+        events = list(plan_events(plan))[:-1]
+        with pytest.raises(ExecutionError, match="truncated"):
+            plan_from_events(events)
+
+    def test_unbalanced_close_rejected(self):
+        with pytest.raises(ExecutionError, match="unbalanced"):
+            plan_from_events(
+                [("open", "seq"), ("base", region()), ("close", "par")]
+            )
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ExecutionError, match="multiple roots"):
+            plan_from_events([("base", region()), ("base", region(1, 2))])
+
+
 class TestStats:
     def test_counts(self):
         r_int = region(interior=True)
@@ -90,6 +141,17 @@ class TestStats:
         assert stats.points == 12
         assert stats.max_par_width == 2
         assert 0 < stats.boundary_fraction < 1
+
+    def test_stats_from_regions_matches_plan_stats(self):
+        r_int = region(interior=True)
+        r_bnd = region(interior=False)
+        plan = PlanNode.seq([PlanNode.base(r_int), PlanNode.base(r_bnd)])
+        streamed = stats_from_regions(iter_base_serial(plan))
+        full = plan_stats(plan)
+        assert streamed.base_cases == full.base_cases
+        assert streamed.points == full.points
+        assert streamed.boundary_points == full.boundary_points
+        assert streamed.interior_base_cases == full.interior_base_cases
 
     def test_map_base_regions(self):
         plan = PlanNode.seq([PlanNode.base(region()), PlanNode.base(region(1, 2))])
