@@ -1,0 +1,172 @@
+"""Leaf fusion: the fused trapezoid leaf clones vs per-step invocation.
+
+The ``split_pointer`` backend generates ``leaf``/``leaf_boundary``
+clones that run a base region's *whole* time loop inside generated code
+(three-address body, scratch-pool temporaries, blockwise halo snapshots
+for boundary regions).  This benchmark executes the identical TRAP plan
+for the 2D heat torus both ways — fused leaves vs stepping the per-step
+clones one ``t`` at a time — and records the speedup plus a bitwise
+equivalence check across the boundary kinds (periodic / Neumann /
+Dirichlet exercise the mod / clip / fill snapshot paths).
+
+Runnable three ways::
+
+    pytest benchmarks/bench_leaf_fusion.py --benchmark-only -s
+    python benchmarks/bench_leaf_fusion.py            # prints + JSON
+    python benchmarks/bench_leaf_fusion.py --check    # CI smoke: exits
+                                                      # nonzero on any
+                                                      # equivalence
+                                                      # mismatch, never
+                                                      # on timing
+
+A passing measuring run at non-tiny scale writes
+``BENCH_leaf_fusion.json`` at the repo root (the machine-readable perf
+trajectory tracked across PRs); ``--check`` runs and tiny-scale smoke
+runs leave the record untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.bench_util import best_of, is_tiny, once, write_bench_json  # noqa: E402
+from repro.compiler.pipeline import compile_kernel  # noqa: E402
+from repro.language.stencil import RunOptions  # noqa: E402
+from repro.trap.driver import build_plan  # noqa: E402
+from repro.trap.executor import execute_serial, run_base_region  # noqa: E402
+from repro.trap.plan import iter_base_serial  # noqa: E402
+from tests.conftest import make_heat_problem  # noqa: E402
+
+EXECUTORS = ("serial", "threads", "dag")
+
+
+def _scale() -> tuple[tuple[int, int], int]:
+    return ((96, 96), 24) if is_tiny() else ((512, 512), 64)
+
+
+def check_equivalence() -> dict[str, bool]:
+    """Fused vs per-step execution must be bitwise identical, for every
+    vectorizable boundary kind and every executor."""
+    sizes, T = _scale()
+    results: dict[str, bool] = {}
+    for boundary in ("periodic", "neumann", "dirichlet"):
+        st_ref, u_ref, k_ref = make_heat_problem(sizes, boundary=boundary)
+        st_ref.run(T, k_ref, fuse_leaves=False)
+        ref = u_ref.snapshot(st_ref.cursor)
+        ok = True
+        for executor in EXECUTORS:
+            st_, u, k = make_heat_problem(sizes, boundary=boundary)
+            st_.run(
+                T,
+                k,
+                executor=executor,
+                n_workers=None if executor == "serial" else 3,
+            )
+            ok = ok and bool(np.array_equal(u.snapshot(st_.cursor), ref))
+        results[boundary] = ok
+    return results
+
+
+def measure() -> dict:
+    """Time the identical default-coarsening TRAP plan both ways."""
+    sizes, T = _scale()
+    st_, u, k = make_heat_problem(sizes)
+    problem = st_.prepare(T, k)
+    compiled = compile_kernel(problem, "auto")
+    per_step = compiled.without_fused_leaves()
+    plan = build_plan(problem, RunOptions(algorithm="trap"))
+    regions = list(iter_base_serial(plan))
+    execute_serial(plan, compiled)  # warm caches and scratch pools
+
+    t_fused = best_of(lambda: execute_serial(plan, compiled))
+    t_steps = best_of(lambda: execute_serial(plan, per_step))
+    out = {
+        "workload": {
+            "app": "heat2d",
+            "grid": list(sizes),
+            "steps": T,
+            "base_cases": len(regions),
+        },
+        "fused_s": round(t_fused, 4),
+        "per_step_s": round(t_steps, 4),
+        "speedup": round(t_steps / t_fused, 3) if t_fused > 0 else 0.0,
+    }
+    for key, regs in (
+        ("interior", [r for r in regions if r.interior]),
+        ("boundary", [r for r in regions if not r.interior]),
+    ):
+        if not regs:
+            # A degenerate (e.g. tiny-scale) plan can lack a region
+            # class entirely; timing an empty loop is noise, not data.
+            out[key] = None
+            continue
+        f = best_of(lambda: [run_base_region(r, compiled) for r in regs])
+        p = best_of(lambda: [run_base_region(r, per_step) for r in regs])
+        out[key] = {
+            "fused_s": round(f, 4),
+            "per_step_s": round(p, 4),
+            "speedup": round(p / f, 3) if f > 0 else 0.0,
+        }
+    return out
+
+
+def run_leaf_fusion(check_only: bool = False) -> dict:
+    equivalence = check_equivalence()
+    payload: dict = {"equivalence": equivalence}
+    if not check_only:
+        payload.update(measure())
+        # Only a passing, non-smoke measuring run may write: a check-only
+        # payload, tiny-scale smoke noise, or timings from a kernel
+        # producing wrong grids would clobber the committed
+        # perf-trajectory record with unusable data.
+        if all(equivalence.values()) and not is_tiny():
+            write_bench_json("leaf_fusion", payload)
+    return payload
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
+def _class_speedups(payload: dict) -> str:
+    return ", ".join(
+        f"{key} {payload[key]['speedup']:.2f}x" if payload[key] else f"{key} n/a"
+        for key in ("interior", "boundary")
+    )
+
+
+def test_leaf_fusion_speedup(benchmark):
+    payload = once(benchmark, run_leaf_fusion)
+    assert all(payload["equivalence"].values()), (
+        f"fused leaf diverged from per-step clones: {payload['equivalence']}"
+    )
+    benchmark.extra_info["speedup"] = payload["speedup"]
+    for key in ("interior", "boundary"):
+        if payload[key]:
+            benchmark.extra_info[f"{key}_speedup"] = payload[key]["speedup"]
+    print(
+        f"\n[leaf-fusion] heat2d {payload['workload']['grid']} x "
+        f"{payload['workload']['steps']}: fused {payload['fused_s']:.3f}s vs "
+        f"per-step {payload['per_step_s']:.3f}s -> {payload['speedup']:.2f}x "
+        f"({_class_speedups(payload)})"
+    )
+
+
+if __name__ == "__main__":
+    check_only = "--check" in sys.argv
+    payload = run_leaf_fusion(check_only=check_only)
+    bad = [b for b, ok in payload["equivalence"].items() if not ok]
+    if bad:
+        print(f"EQUIVALENCE MISMATCH: {bad}", file=sys.stderr)
+        sys.exit(1)
+    if check_only:
+        print(f"leaf fusion equivalence ok: {sorted(payload['equivalence'])}")
+    else:
+        print(
+            f"leaf fusion: {payload['speedup']:.2f}x "
+            f"({_class_speedups(payload)}) — BENCH_leaf_fusion.json written"
+        )

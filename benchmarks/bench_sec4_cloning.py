@@ -31,7 +31,12 @@ def _prepared():
     sizes, T = _cfg()
     st_, u, k = make_heat_problem(sizes, boundary="periodic")
     problem = st_.prepare(T, k)
-    compiled = compile_kernel(problem, "auto")
+    # Strip the fused leaves: this ablation isolates the cloning decision
+    # at per-step granularity, and the snapshot-based fused boundary leaf
+    # pays no per-index modulo — with it, the strawman would dodge the
+    # very cost the experiment measures (fusion has its own benchmark,
+    # bench_leaf_fusion).
+    compiled = compile_kernel(problem, "auto").without_fused_leaves()
     plan = build_plan(problem, RunOptions(algorithm="trap"))
     return problem, compiled, plan, u
 

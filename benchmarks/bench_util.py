@@ -40,4 +40,42 @@ def wall(fn: Callable[[], object]) -> float:
     return time.perf_counter() - t0
 
 
-__all__ = ["bench_scale", "is_tiny", "measure", "once", "wall"]
+def best_of(fn: Callable[[], object], reps: int = 3) -> float:
+    """Best-of-N wall time — the standard repeatable-timing mode for the
+    machine-readable benchmark records."""
+    return min(wall(fn) for _ in range(max(1, reps)))
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    The machine-readable perf trajectory: every benchmark that measures
+    something records its numbers here, so successive PRs can be compared
+    without re-parsing printed tables.  ``scale`` and a timestamp are
+    stamped automatically; the payload should carry sizes/steps/timings.
+    """
+    import json
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, f"BENCH_{name}.json")
+    record = {
+        "bench": name,
+        "scale": bench_scale(),
+        "unix_time": round(time.time(), 1),
+        **payload,
+    }
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+__all__ = [
+    "bench_scale",
+    "best_of",
+    "is_tiny",
+    "measure",
+    "once",
+    "wall",
+    "write_bench_json",
+]

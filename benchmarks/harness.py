@@ -9,7 +9,11 @@ Usage::
 Each section prints a paper-style table; EXPERIMENTS.md records one such
 run next to the paper's reported numbers.  (pytest-benchmark timing
 statistics live in ``pytest benchmarks/ --benchmark-only``; this script
-is the narrative, one-shot view.)
+is the narrative, one-shot view.)  Every section also returns its
+numbers as a dict, and a full (all-sections) run writes them to
+``BENCH_harness.json`` at the repo root — the machine-readable perf
+trajectory compared across PRs.  Partial runs and ``--no-json`` leave
+the record untouched.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks.bench_util import is_tiny, wall  # noqa: E402
+from benchmarks.bench_util import is_tiny, wall, write_bench_json  # noqa: E402
 from repro.analysis.reporting import Fig3Row, fig3_table, series_table  # noqa: E402
 from repro.analysis.theory import parallelism_growth_exponent  # noqa: E402
 from repro.apps import build  # noqa: E402
@@ -47,7 +51,7 @@ def _heat_problem(sizes, boundary="periodic", seed=0):
     return make_heat_problem(sizes, boundary=boundary, seed=seed)
 
 
-def run_intro() -> None:
+def run_intro() -> dict:
     sizes, T = ((96, 96), 32) if is_tiny() else ((1536, 1536), 96)
     st1, _, k1 = _heat_problem(sizes)
     t_trap = wall(lambda: st1.run(T, k1, algorithm="trap"))
@@ -58,6 +62,13 @@ def run_intro() -> None:
         f"   TRAP {t_trap:.3f}s   serial LOOPS {t_loops:.3f}s   "
         f"ratio {t_loops / t_trap:.2f}x   (paper at 5000^2 x 5000: >10x)"
     )
+    return {
+        "grid": list(sizes),
+        "steps": T,
+        "trap_s": round(t_trap, 4),
+        "serial_loops_s": round(t_loops, 4),
+        "loops_over_trap": round(t_loops / t_trap, 3),
+    }
 
 
 FIG3_APPS = [
@@ -67,7 +78,7 @@ FIG3_APPS = [
 ]
 
 
-def run_fig3() -> None:
+def run_fig3() -> dict:
     P = 12
     rows = []
     for name, dims in FIG3_APPS:
@@ -101,12 +112,27 @@ def run_fig3() -> None:
         )
         print(f"   [fig3] {name} done", file=sys.stderr)
     print("\n== Figure 3\n" + fig3_table(rows, processors=P))
+    return {
+        "processors": P,
+        "rows": [
+            {
+                "benchmark": r.benchmark,
+                "grid": r.grid,
+                "steps": r.steps,
+                "pochoir_1core_s": round(r.pochoir_1core, 4),
+                "serial_loops_s": round(r.serial_loops, 4),
+                "serial_ratio": round(r.serial_ratio, 3),
+            }
+            for r in rows
+        ],
+    }
 
 
-def run_fig5() -> None:
+def run_fig5() -> dict:
     print("\n== Figure 5: Pochoir vs blocked-loop autotuner (Mpoints/s)")
     blocks = (4, 8) if is_tiny() else (16, 32, 64)
     mode = "c" if "c" in available_modes() else "auto"
+    out = {}
     for name in ("pt7", "pt27"):
         app_w = build(name, scale())
         app_w.run(algorithm="trap", mode=mode)  # warm kernel cache
@@ -129,9 +155,16 @@ def run_fig5() -> None:
             f"ratio {po / be:.2f}  best block {tuned.block[:-1]} "
             f"(paper: 7pt 2.49 vs 2.0, 27pt 0.88 vs 0.95 GStencil/s)"
         )
+        out[name] = {
+            "pochoir_mpts": round(po, 3),
+            "blocked_mpts": round(be, 3),
+            "ratio": round(po / be, 3),
+        }
+    return out
 
 
-def run_fig9() -> None:
+def run_fig9() -> dict:
+    out = {}
     cases = (
         {
             "name": "heat2d (paper fig 9a)",
@@ -176,9 +209,18 @@ def run_fig9() -> None:
             f"strap {e(strap):.2f} "
             f"(theory {parallelism_growth_exponent(ndim, 'strap'):.2f})"
         )
+        out[cfg["name"]] = {
+            "ns": list(cfg["ns"]),
+            "trap_parallelism": [round(v, 1) for v in trap],
+            "strap_parallelism": [round(v, 1) for v in strap],
+            "trap_growth_exponent": round(e(trap), 3),
+            "strap_growth_exponent": round(e(strap), 3),
+        }
+    return out
 
 
-def run_fig10() -> None:
+def run_fig10() -> dict:
+    out = {}
     M, B = 4096, 8
     cases = {"heat2d": dict(ns=(24, 32), ndim=2, T=16)} if is_tiny() else {
         "heat2d": dict(ns=(32, 64, 96), ndim=2, T=32),
@@ -225,9 +267,16 @@ def run_fig10() -> None:
                 "N", cfg["ns"], rows,
             )
         )
+        out[case] = {
+            "ns": list(cfg["ns"]),
+            **{
+                key: [round(v, 4) for v in vals] for key, vals in rows.items()
+            },
+        }
+    return out
 
 
-def run_fig13() -> None:
+def run_fig13() -> dict:
     ns, T = ((32, 64), 8) if is_tiny() else ((64, 128, 256), 16)
     series = {}
     for mode in [m for m in ("interp", "macro_shadow", "split_pointer", "c")
@@ -246,9 +295,10 @@ def run_fig13() -> None:
         + series_table("points/s by codegen mode (2D heat torus)", "N", ns,
                        series)
     )
+    return {"ns": list(ns), "points_per_s": series}
 
 
-def run_sec4() -> None:
+def run_sec4() -> dict:
     from repro.compiler.pipeline import compile_kernel
     from repro.trap.executor import execute_serial
     from repro.trap.plan import BaseRegion, map_base_regions
@@ -256,7 +306,12 @@ def run_sec4() -> None:
     sizes, T = ((64, 64), 16) if is_tiny() else ((384, 384), 96)
     st_, u, k = _heat_problem(sizes)
     problem = st_.prepare(T, k)
-    compiled = compile_kernel(problem, "auto")
+    # The ablation isolates Section 4's *cloning* decision at per-step
+    # granularity, so strip the fused leaves from both runs: a fused
+    # snapshot leaf pays no per-index modulo and would let the strawman
+    # dodge the cost this experiment measures (leaf fusion itself is
+    # measured by bench_leaf_fusion).
+    compiled = compile_kernel(problem, "auto").without_fused_leaves()
     plan = build_plan(problem, RunOptions(algorithm="trap"))
     t_cloned = wall(lambda: execute_serial(plan, compiled))
     all_bnd = map_base_regions(
@@ -267,6 +322,16 @@ def run_sec4() -> None:
         f"\n== Section 4 cloning ablation: modulo-everywhere / clone-based "
         f"= {t_mod / t_cloned:.2f}x slower (paper: 2.3x)"
     )
+    out = {
+        "cloning": {
+            "grid": list(sizes),
+            "steps": T,
+            "clone_based_s": round(t_cloned, 4),
+            "modulo_everywhere_s": round(t_mod, 4),
+            "slowdown": round(t_mod / t_cloned, 3),
+        },
+        "coarsening": {},
+    }
 
     sizes, T = ((64, 64), 16) if is_tiny() else ((256, 256), 64)
     print("== Section 4 coarsening ablation (2D heat wall seconds):")
@@ -276,7 +341,10 @@ def run_sec4() -> None:
         ("defaults", {}),
     ):
         s2, _, k2 = _heat_problem(sizes)
-        print(f"   {name:18s} {wall(lambda: s2.run(T, k2, **kw)):.3f}s")
+        elapsed = wall(lambda: s2.run(T, k2, **kw))
+        print(f"   {name:18s} {elapsed:.3f}s")
+        out["coarsening"][name] = round(elapsed, 4)
+    return out
 
 
 SECTIONS = {
@@ -294,13 +362,28 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     for name in SECTIONS:
         parser.add_argument(f"--{name}", action="store_true")
+    parser.add_argument(
+        "--no-json",
+        action="store_true",
+        help="skip writing BENCH_harness.json (printed tables only)",
+    )
     args = parser.parse_args(argv)
     chosen = [n for n in SECTIONS if getattr(args, n)] or list(SECTIONS)
     t0 = time.time()
     print(f"repro evaluation harness — scale={scale()}, sections={chosen}")
-    for name in chosen:
-        SECTIONS[name]()
-    print(f"\ntotal: {time.time() - t0:.1f}s")
+    results = {name: SECTIONS[name]() for name in chosen}
+    elapsed = time.time() - t0
+    if args.no_json or len(chosen) < len(SECTIONS):
+        # Partial sweeps never write: a few-section record would clobber
+        # the full perf-trajectory file compared across PRs.
+        if not args.no_json:
+            print("\n(partial run: BENCH_harness.json not written)")
+    else:
+        path = write_bench_json(
+            "harness", {"sections": results, "total_s": round(elapsed, 1)}
+        )
+        print(f"\nwrote {path}")
+    print(f"\ntotal: {elapsed:.1f}s")
 
 
 if __name__ == "__main__":

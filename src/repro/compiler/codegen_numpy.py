@@ -7,22 +7,40 @@ NumPy *slice view* of the underlying buffer — the same strength reduction
 (no per-point index arithmetic, contiguous walks of memory), expressed in
 the idiom the platform optimizes.
 
-The interior clone applies one whole time step to a rectangular region
-with pure slice arithmetic.  The boundary clone evaluates the same
-expressions over *true* (modulo-reduced) coordinates, gathering neighbor
-values through the per-array boundary remap/fill helpers of
-:mod:`repro.compiler.runtime_support`.
+Three clones are generated:
+
+* **interior** — one time step on a rectangular region, pure slice
+  arithmetic (no boundary checks).
+* **boundary** — one time step over *true* (modulo-reduced) coordinates,
+  gathering neighbor values through the per-array boundary remap/fill
+  helpers of :mod:`repro.compiler.runtime_support`.
+* **leaf** / **leaf_boundary** — the fused base-case clone: the *whole*
+  trapezoid time loop runs inside generated code (Figure 2's base case),
+  with the slope-shifted bounds, slot arithmetic, a single ``errstate``
+  context, and coordinate vectors hoisted around the loop.
+
+All clone bodies are lowered to **three-address code**: the kernel AST is
+first run through common-subexpression elimination
+(:func:`repro.expr.transform.cse_statements`) and then flattened into
+single-op ufunc calls targeting views of a per-thread scratch-buffer pool
+(``np.multiply(a, b, out=T0)``), with liveness-based slot recycling.  A
+leaf invocation therefore performs O(pool slots) allocations instead of
+one fresh temporary per expression node per time step, and the final op
+of each assignment writes straight into the destination slot's slice.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import CompileError, KernelError
 from repro.compiler.frontend import KernelIR
 from repro.compiler import runtime_support
+from repro.expr.analysis import walk
+from repro.expr.transform import cse_statements
 from repro.expr.nodes import (
     Assign,
     BinOp,
@@ -38,6 +56,7 @@ from repro.expr.nodes import (
     LocalRead,
     NotOp,
     Param,
+    Statement,
     UnOp,
     Where,
 )
@@ -51,6 +70,12 @@ from repro.language.boundary import (
 )
 
 CloneFn = Callable[[int, tuple[int, ...], tuple[int, ...]], None]
+#: The fused base-case clone: (ta, tb, lo, hi, dlo, dhi) -> ran?  False
+#: means the leaf declined and the caller must step the per-step clones.
+LeafFn = Callable[
+    [int, int, tuple[int, ...], tuple[int, ...], tuple[int, ...], tuple[int, ...]],
+    bool,
+]
 
 _NP_MATH = {
     "exp": "np.exp",
@@ -62,6 +87,27 @@ _NP_MATH = {
     "fabs": "np.abs",
     "floor": "np.floor",
     "ceil": "np.ceil",
+}
+
+#: Binary operators as ufuncs (the three-address spellings).
+_UFUNC = {
+    "+": "np.add",
+    "-": "np.subtract",
+    "*": "np.multiply",
+    "/": "np.divide",
+    "%": "np.fmod",
+    "**": "np.power",
+    "min": "np.minimum",
+    "max": "np.maximum",
+}
+
+_CMP_UFUNC = {
+    "<": "np.less",
+    "<=": "np.less_equal",
+    ">": "np.greater",
+    ">=": "np.greater_equal",
+    "==": "np.equal",
+    "!=": "np.not_equal",
 }
 
 
@@ -105,50 +151,190 @@ def is_vectorizable_boundary(b: Boundary | None) -> bool:
     return b is None or b.is_index_remap or b.is_fill
 
 
-class _NumpyCodegen:
-    """Expression codegen shared by the two NumPy clones."""
+def _check_vectorizable(ir: KernelIR) -> None:
+    for arr in ir.arrays.values():
+        if not is_vectorizable_boundary(arr.boundary):
+            raise CompileError(
+                f"array {arr.name!r} uses non-vectorizable boundary "
+                f"{arr.boundary.describe() if arr.boundary else None}"
+            )
 
-    def __init__(self, ir: KernelIR, boundary_mode: bool):
+
+def _woff_name(i: int, off: int) -> str:
+    """Name of the precomputed home-coordinate vector for offset ``off``."""
+    if off == 0:
+        return f"W{i}"
+    return f"W{i}_{'m' if off < 0 else 'p'}{abs(off)}"
+
+
+@dataclass
+class _Ref:
+    """One lowered operand.
+
+    ``slot`` is the scratch-pool slot this ref *owns* (the consumer must
+    release or adopt it); None for borrowed values — scalars, slice
+    views, gather results, and Let-bound names.
+    """
+
+    text: str
+    slot: int | None = None
+    scalar: bool = False
+    dtype: str = "f"  # 'f' float | 'b' bool
+
+
+class _Emitter:
+    """Three-address lowering of one (CSE'd) kernel body.
+
+    Produces unindented body lines plus the pool/axis bookkeeping the
+    source assemblers turn into a clone prologue.  Slot allocation is a
+    stack-machine register allocator: each temp dies at the op that
+    consumes it, so its slot is recycled immediately; Let-bound temps
+    live until the last statement that reads them.
+    """
+
+    def __init__(
+        self, ir: KernelIR, boundary_mode: bool, snapshot_mode: bool = False
+    ):
         self.ir = ir
         self.boundary_mode = boundary_mode
+        #: Snapshot mode (the fused boundary leaf): instead of one fancy
+        #: gather per neighbor read, assemble one blockwise halo snapshot
+        #: per (array, dt) per step and read plain slices of it.
+        self.snapshot_mode = snapshot_mode
         self.used_axes: set[int] = set()
+        self.used_woffsets: set[tuple[int, int]] = set()
+        self.lines: list[str] = []
+        self.n_slots = 0
+        self.slot_dtypes: dict[int, str] = {}
+        self._free: dict[str, list[int]] = {"f": [], "b": []}
+        self._let_refs: dict[str, _Ref] = {}
+        self._let_slot: dict[str, int] = {}
+        # Snapshot bookkeeping: (array, dt) -> dedicated pool slot, the
+        # set assembled so far this step, dims whose home range must be
+        # in-domain (clip/fill boundaries), and the halo pads.
+        self._snap_slots: dict[tuple[str, int], int] = {}
+        self._snap_ready: set[tuple[str, int]] = set()
+        self.snapshot_slot_ids: set[int] = set()
+        self.snap_clip_dims: set[int] = set()
+        self.pad_lo = tuple(max(0, -m) for m in ir.min_off)
+        self.pad_hi = tuple(max(0, m) for m in ir.max_off)
 
-    # W{i}: 1-D true home coordinates; AX{i}R: reshaped for broadcasting.
+    # -- slot allocation ---------------------------------------------------
+    def _acquire(self, dtype: str) -> int:
+        free = self._free[dtype]
+        if free:
+            return free.pop()
+        slot = self.n_slots
+        self.n_slots += 1
+        self.slot_dtypes[slot] = dtype
+        return slot
+
+    def _release(self, ref: _Ref) -> None:
+        if ref.slot is not None:
+            self._free[ref.dtype].append(ref.slot)
+            ref.slot = None
+
+    # -- leaf references ---------------------------------------------------
     def axis_ref(self, i: int) -> str:
         self.used_axes.add(i)
         return f"AX{i}R"
 
-    def affine(self, index) -> str:
+    def affine(self, index) -> tuple[str, bool]:
+        """(source text, is_scalar) of an affine index expression."""
         parts: list[str] = []
+        scalar = True
         for ax, c in index.terms:
-            base = "t" if ax.is_time else self.axis_ref(ax.position)
+            if ax.is_time:
+                base = "t"
+            else:
+                base = self.axis_ref(ax.position)
+                scalar = False
             parts.append(base if c == 1 else f"{c}*{base}")
         if index.const or not parts:
             parts.append(str(index.const))
-        return "(" + " + ".join(parts) + ")"
+        return "(" + " + ".join(parts) + ")", scalar
 
-    def grid_read(self, node: GridRead) -> str:
+    def _snapshot_ref(self, node: GridRead) -> _Ref:
+        """Slice of the per-(array, dt) halo snapshot for one read."""
+        arr = self.ir.arrays[node.array]
+        key = (node.array, node.dt)
+        name = f"SN_{node.array}_{_slot_tag(node.dt)}"
+        if key not in self._snap_ready:
+            slot = self._snap_slots.get(key)
+            if slot is None:
+                # Fresh slot, never from the temp free list: recycled ids
+                # would collide with the T{k} views bound per step.
+                slot = self.n_slots
+                self.n_slots += 1
+                self.slot_dtypes[slot] = "f"
+                self._snap_slots[key] = slot
+                self.snapshot_slot_ids.add(slot)
+            d = self.ir.ndim
+            lo = ", ".join(
+                f"l{i}-{p}" if p else f"l{i}" for i, p in enumerate(self.pad_lo)
+            )
+            hi = ", ".join(
+                f"h{i}+{p}" if p else f"h{i}" for i, p in enumerate(self.pad_hi)
+            )
+            time_slot = f"s_{node.array}_{_slot_tag(node.dt)}"
+            self.lines.append(
+                f"{name} = POOL.view({slot}, SHPH, {_np_dtype_text(self.ir, 'f')})"
+            )
+            modes = boundary_modes(arr.boundary, d)
+            if modes is not None:
+                for i, m in enumerate(modes):
+                    if m == "clip":
+                        self.snap_clip_dims.add(i)
+                self.lines.append(
+                    f"SB(D_{node.array}, {time_slot}, ({lo},), ({hi},), "
+                    f"{tuple(modes)!r}, {arr.sizes!r}, {name})"
+                )
+            else:
+                assert arr.boundary is not None
+                fill = boundary_fill_expr(arr.boundary, node.dt)
+                if fill is None:
+                    raise CompileError(
+                        f"boundary {arr.boundary.describe()} of array "
+                        f"{node.array!r} is not vectorizable"
+                    )
+                self.snap_clip_dims.update(range(d))
+                self.lines.append(
+                    f"SBF(D_{node.array}, {time_slot}, ({lo},), ({hi},), "
+                    f"{arr.sizes!r}, {fill}, {name})"
+                )
+            self._snap_ready.add(key)
+        subs = []
+        for i, off in enumerate(node.offsets):
+            start = self.pad_lo[i] + off
+            stop = off - self.pad_hi[i]  # relative to the snapshot's end
+            subs.append(f"{start}:{stop if stop else ''}")
+        return _Ref(f"{name}[{', '.join(subs)}]")
+
+    def grid_read(self, node: GridRead) -> _Ref:
+        if self.snapshot_mode:
+            return self._snapshot_ref(node)
         if not self.boundary_mode:
             subs = []
             for i, off in enumerate(node.offsets):
                 lo = f"l{i}" if off == 0 else f"l{i}{off:+d}"
                 hi = f"h{i}" if off == 0 else f"h{i}{off:+d}"
                 subs.append(f"{lo}:{hi}")
-            return (
+            return _Ref(
                 f"D_{node.array}[s_{node.array}_{_slot_tag(node.dt)}, "
                 f"{', '.join(subs)}]"
             )
         arr = self.ir.arrays[node.array]
-        coords = ", ".join(
-            f"W{i}" if off == 0 else f"W{i}{off:+d}"
-            for i, off in enumerate(node.offsets)
-        )
+        coords = []
+        for i, off in enumerate(node.offsets):
+            self.used_woffsets.add((i, off))
+            coords.append(_woff_name(i, off))
+        coord_text = ", ".join(coords)
         slot = f"s_{node.array}_{_slot_tag(node.dt)}"
         modes = boundary_modes(arr.boundary, self.ir.ndim)
         if modes is not None:
-            return (
-                f"GR(D_{node.array}, {slot}, ({coords},), {tuple(modes)!r}, "
-                f"{arr.sizes!r})"
+            return _Ref(
+                f"GR(D_{node.array}, {slot}, ({coord_text},), "
+                f"{tuple(modes)!r}, {arr.sizes!r})"
             )
         assert arr.boundary is not None
         fill = boundary_fill_expr(arr.boundary, node.dt)
@@ -157,133 +343,384 @@ class _NumpyCodegen:
                 f"boundary {arr.boundary.describe()} of array "
                 f"{node.array!r} is not vectorizable"
             )
-        return (
-            f"GF(D_{node.array}, {slot}, ({coords},), {arr.sizes!r}, {fill})"
+        return _Ref(
+            f"GF(D_{node.array}, {slot}, ({coord_text},), {arr.sizes!r}, {fill})"
         )
 
-    def const_read(self, node: ConstArrayRead) -> str:
-        idx = ", ".join(self.affine(ix) for ix in node.indices)
-        return f"GC(C_{node.array}, ({idx},))"
-
-    def val(self, e: Expr) -> str:
+    # -- expression lowering -----------------------------------------------
+    def ref(self, e: Expr) -> _Ref:
         if isinstance(e, Const):
-            return repr(e.value)
+            return _Ref(repr(e.value), scalar=True)
         if isinstance(e, Param):
             raise CompileError(
                 f"parameter {e.name!r} is unbound at codegen; call "
                 f"stencil.set_param first"
             )
         if isinstance(e, IndexValue):
-            return f"({self.affine(e.index)} * 1.0)"
+            text, scalar = self.affine(e.index)
+            return _Ref(f"({text} * 1.0)", scalar=scalar)
         if isinstance(e, LocalRead):
-            return f"L_{e.name}"
+            return self._let_refs[e.name]
         if isinstance(e, GridRead):
             return self.grid_read(e)
         if isinstance(e, ConstArrayRead):
-            return self.const_read(e)
+            idx = ", ".join(self.affine(ix)[0] for ix in e.indices)
+            return _Ref(f"GC(C_{e.array}, ({idx},))")
         if isinstance(e, BinOp):
-            a, b = self.val(e.left), self.val(e.right)
-            if e.op == "min":
-                return f"np.minimum({a}, {b})"
-            if e.op == "max":
-                return f"np.maximum({a}, {b})"
-            if e.op == "%":
-                return f"np.fmod({a}, {b})"
-            if e.op == "**":
-                return f"({a} ** {b})"
-            return f"({a} {e.op} {b})"
+            return self._op(_UFUNC[e.op], [e.left, e.right], "f", e)
         if isinstance(e, UnOp):
-            v = self.val(e.operand)
-            return f"(-{v})" if e.op == "neg" else f"np.abs({v})"
+            fn = "np.negative" if e.op == "neg" else "np.abs"
+            return self._op(fn, [e.operand], "f", e)
         if isinstance(e, Compare):
-            return f"({self.val(e.left)} {e.op} {self.val(e.right)})"
+            return self._op(_CMP_UFUNC[e.op], [e.left, e.right], "b", e)
         if isinstance(e, BoolOp):
             fn = "np.logical_and" if e.op == "and" else "np.logical_or"
-            return f"{fn}({self.val(e.left)}, {self.val(e.right)})"
+            return self._op(fn, [e.left, e.right], "b", e)
         if isinstance(e, NotOp):
-            return f"np.logical_not({self.val(e.operand)})"
+            return self._op("np.logical_not", [e.operand], "b", e)
         if isinstance(e, Where):
-            return (
-                f"np.where({self.val(e.cond)}, {self.val(e.if_true)}, "
-                f"{self.val(e.if_false)})"
-            )
+            return self._where(e)
         if isinstance(e, Call):
-            args = ", ".join(self.val(a) for a in e.args)
-            return f"{_NP_MATH[e.func]}({args})"
+            return self._op(_NP_MATH[e.func], list(e.args), "f", e)
         raise KernelError(f"cannot generate code for {type(e).__name__}")
+
+    def _scalar_text(self, e: Expr, refs: list[_Ref]) -> str:
+        """All-scalar operands: keep the seed's nested-expression spelling
+        so scalar arithmetic stays in Python-float land, bit for bit."""
+        t = [r.text for r in refs]
+        if isinstance(e, BinOp):
+            if e.op == "min":
+                return f"np.minimum({t[0]}, {t[1]})"
+            if e.op == "max":
+                return f"np.maximum({t[0]}, {t[1]})"
+            if e.op == "%":
+                return f"np.fmod({t[0]}, {t[1]})"
+            if e.op == "**":
+                return f"({t[0]} ** {t[1]})"
+            return f"({t[0]} {e.op} {t[1]})"
+        if isinstance(e, UnOp):
+            return f"(-{t[0]})" if e.op == "neg" else f"np.abs({t[0]})"
+        if isinstance(e, Compare):
+            return f"({t[0]} {e.op} {t[1]})"
+        if isinstance(e, BoolOp):
+            fn = "np.logical_and" if e.op == "and" else "np.logical_or"
+            return f"{fn}({t[0]}, {t[1]})"
+        if isinstance(e, NotOp):
+            return f"np.logical_not({t[0]})"
+        if isinstance(e, Call):
+            return f"{_NP_MATH[e.func]}({', '.join(t)})"
+        raise KernelError(f"no scalar form for {type(e).__name__}")
+
+    def _op(self, fn: str, operands: list[Expr], dtype: str, e: Expr) -> _Ref:
+        refs = [self.ref(o) for o in operands]
+        if all(r.scalar for r in refs):
+            return _Ref(self._scalar_text(e, refs), scalar=True, dtype=dtype)
+        # Operand temps die here; the destination may recycle one of their
+        # slots — exact aliasing of a ufunc input with ``out`` is safe.
+        for r in refs:
+            self._release(r)
+        dst = self._acquire(dtype)
+        args = ", ".join(r.text for r in refs)
+        self.lines.append(f"{fn}({args}, out=T{dst})")
+        return _Ref(f"T{dst}", slot=dst, dtype=dtype)
+
+    def _where(self, e: Where) -> _Ref:
+        cond = self.ref(e.cond)
+        if_true = self.ref(e.if_true)
+        if_false = self.ref(e.if_false)
+        if cond.scalar and if_true.scalar and if_false.scalar:
+            return _Ref(
+                f"np.where({cond.text}, {if_true.text}, {if_false.text})",
+                scalar=True,
+            )
+        dtype = "b" if (if_true.dtype == "b" and if_false.dtype == "b") else "f"
+        # np.where has no ``out``; lower to a copy + masked copy.  The
+        # destination must NOT alias the mask or the taken branch (the
+        # first copyto would clobber them), so acquire before releasing.
+        dst = self._acquire(dtype)
+        mask = cond.text if cond.dtype == "b" else f"({cond.text} != 0)"
+        self.lines.append(f"np.copyto(T{dst}, {if_false.text})")
+        self.lines.append(f"np.copyto(T{dst}, {if_true.text}, where={mask})")
+        for r in (cond, if_true, if_false):
+            self._release(r)
+        return _Ref(f"T{dst}", slot=dst, dtype=dtype)
+
+    # -- statements ----------------------------------------------------------
+    def _emit_let(self, st: Let) -> None:
+        r = self.ref(st.expr)
+        self.lines.append(f"L_{st.name} = {r.text}")
+        if r.slot is not None:
+            # Adopt the temp: the slot now lives until the let's last use.
+            self._let_slot[st.name] = r.slot
+        self._let_refs[st.name] = _Ref(f"L_{st.name}", None, r.scalar, r.dtype)
+
+    def _write_target(self, arr: str) -> str:
+        d = self.ir.ndim
+        target = ", ".join(f"l{i}:h{i}" for i in range(d))
+        return f"D_{arr}[s_{arr}_{_slot_tag(0)}, {target}]"
+
+    def _emit_assign(self, st: Assign) -> None:
+        arr = st.target.array
+        e = st.expr
+        if not self.boundary_mode:
+            dest = self._write_target(arr)
+            # Fuse the root op into the destination store.  Only float
+            # ufunc roots qualify; a dt==0 home read of the written array
+            # aliases the destination *exactly*, which ufuncs permit.
+            root: tuple[str, list[Expr]] | None = None
+            if isinstance(e, BinOp):
+                root = (_UFUNC[e.op], [e.left, e.right])
+            elif isinstance(e, UnOp):
+                root = ("np.negative" if e.op == "neg" else "np.abs", [e.operand])
+            elif isinstance(e, Call):
+                root = (_NP_MATH[e.func], list(e.args))
+            if root is not None:
+                fn, operands = root
+                refs = [self.ref(o) for o in operands]
+                if not all(r.scalar for r in refs):
+                    args = ", ".join(r.text for r in refs)
+                    self.lines.append(f"{fn}({args}, out={dest})")
+                    for r in refs:
+                        self._release(r)
+                    return
+                self.lines.append(f"{dest} = {self._scalar_text(e, refs)}")
+                return
+            r = self.ref(e)
+            self.lines.append(f"{dest} = {r.text}")
+            self._release(r)
+            return
+        d = self.ir.ndim
+        if self.snapshot_mode:
+            lo = ", ".join(f"l{i}" for i in range(d))
+            hi = ", ".join(f"h{i}" for i in range(d))
+            r = self.ref(e)
+            self.lines.append(
+                f"SC(D_{arr}, s_{arr}_{_slot_tag(0)}, ({lo},), ({hi},), "
+                f"{self.ir.arrays[arr].sizes!r}, {r.text})"
+            )
+            self._release(r)
+            # The written level changed: a later dt==0 read of this array
+            # must re-assemble its snapshot.
+            self._snap_ready.discard((arr, 0))
+            return
+        for i in range(d):
+            self.used_woffsets.add((i, 0))
+        coords = ", ".join(f"W{i}" for i in range(d))
+        r = self.ref(e)
+        self.lines.append(
+            f"SW(D_{arr}, s_{arr}_{_slot_tag(0)}, ({coords},), {r.text})"
+        )
+        self._release(r)
+
+    def emit_body(self, stmts: Sequence[Statement]) -> None:
+        last_use: dict[str, int] = {}
+        for i, st in enumerate(stmts):
+            for node in walk(st.expr):
+                if isinstance(node, LocalRead):
+                    last_use[node.name] = i
+        for i, st in enumerate(stmts):
+            if isinstance(st, Let):
+                self._emit_let(st)
+            elif isinstance(st, Assign):
+                self._emit_assign(st)
+            else:
+                raise KernelError(f"unknown statement {type(st).__name__}")
+            for name in list(self._let_slot):
+                if last_use.get(name, -1) <= i:
+                    slot = self._let_slot.pop(name)
+                    self._free[self._let_refs[name].dtype].append(slot)
+
+
+def _lower(
+    ir: KernelIR, boundary_mode: bool, snapshot_mode: bool = False
+) -> _Emitter:
+    """CSE + three-address lowering of the kernel body."""
+    em = _Emitter(ir, boundary_mode, snapshot_mode)
+    em.emit_body(cse_statements(ir.statements))
+    return em
+
+
+# -- source assembly ----------------------------------------------------------
+
+
+def _np_dtype_text(ir: KernelIR, kind: str) -> str:
+    if kind == "b":
+        return "np.bool_"
+    dt = np.result_type(*(a.data.dtype for a in ir.arrays.values()))
+    return f"np.dtype({dt.name!r})"
+
+
+def _slot_lines(ir: KernelIR, indent: str) -> list[str]:
+    lines = []
+    for info in ir.array_infos:
+        for dt in info.dts:
+            lines.append(
+                f"{indent}s_{info.name}_{_slot_tag(dt)} = "
+                f"(t{dt:+d}) % {info.slots}"
+            )
+    return lines
+
+
+def _pool_lines(ir: KernelIR, em: _Emitter, indent: str) -> list[str]:
+    """Bind the scratch views for the current step's region shape.
+
+    Snapshot slots are excluded — the body binds those itself (at halo
+    shape ``SHPH``) when it assembles each snapshot.
+    """
+    if em.n_slots == 0:
+        return []
+    d = ir.ndim
+    shp = ", ".join(f"h{i} - l{i}" for i in range(d))
+    lines = [f"{indent}SHP = ({shp},)"]
+    if em.snapshot_slot_ids:
+        shph = ", ".join(
+            f"h{i} - l{i} + {em.pad_lo[i] + em.pad_hi[i]}" for i in range(d)
+        )
+        lines.append(f"{indent}SHPH = ({shph},)")
+    for slot in range(em.n_slots):
+        if slot in em.snapshot_slot_ids:
+            continue
+        dt = _np_dtype_text(ir, em.slot_dtypes[slot])
+        lines.append(f"{indent}T{slot} = POOL.view({slot}, SHP, {dt})")
+    return lines
+
+
+def _w_lines(ir: KernelIR, em: _Emitter, indent: str) -> list[str]:
+    """True home-coordinate vectors (virtual reduced modulo the grid) plus
+    the shifted copies every gather offset needs, computed once."""
+    lines = []
+    by_dim: dict[int, list[int]] = {}
+    for i, off in sorted(em.used_woffsets):
+        by_dim.setdefault(i, []).append(off)
+    for i in range(ir.ndim):
+        lines.append(f"{indent}W{i} = np.arange(l{i}, h{i}) % {ir.sizes[i]}")
+        for off in by_dim.get(i, ()):
+            if off != 0:
+                lines.append(f"{indent}{_woff_name(i, off)} = W{i} {off:+d}")
+    for i in sorted(em.used_axes):
+        shape = ["1"] * ir.ndim
+        shape[i] = "-1"
+        lines.append(f"{indent}AX{i}R = W{i}.reshape({', '.join(shape)})")
+    return lines
 
 
 def _interior_source(ir: KernelIR) -> str:
-    gen = _NumpyCodegen(ir, boundary_mode=False)
+    em = _lower(ir, boundary_mode=False)
     d = ir.ndim
-    body: list[str] = []
-    for st in ir.statements:
-        if isinstance(st, Let):
-            body.append(f"        L_{st.name} = {gen.val(st.expr)}")
-        elif isinstance(st, Assign):
-            arr = st.target.array
-            target = ", ".join(f"l{i}:h{i}" for i in range(d))
-            body.append(
-                f"        D_{arr}[s_{arr}_{_slot_tag(0)}, {target}] = "
-                f"{gen.val(st.expr)}"
-            )
     lines = ["def interior(t, lo, hi):"]
     for i in range(d):
         lines.append(f"    l{i} = lo[{i}]; h{i} = hi[{i}]")
     empty = " or ".join(f"h{i} <= l{i}" for i in range(d))
     lines.append(f"    if {empty}:")
     lines.append("        return")
-    for info in ir.array_infos:
-        for dt in info.dts:
-            lines.append(
-                f"    s_{info.name}_{_slot_tag(dt)} = (t{dt:+d}) % {info.slots}"
-            )
-    for i in sorted(gen.used_axes):
+    lines.extend(_slot_lines(ir, "    "))
+    if em.n_slots:
+        lines.append("    POOL = P.get()")
+    for i in sorted(em.used_axes):
         shape = ["1"] * d
         shape[i] = "-1"
         lines.append(
             f"    AX{i}R = np.arange(l{i}, h{i}).reshape({', '.join(shape)})"
         )
+    lines.extend(_pool_lines(ir, em, "    "))
     lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
-    lines.extend(body)
+    lines.extend(f"        {b}" for b in em.lines)
     return "\n".join(lines)
 
 
 def _boundary_source(ir: KernelIR) -> str:
-    gen = _NumpyCodegen(ir, boundary_mode=True)
+    em = _lower(ir, boundary_mode=True)
     d = ir.ndim
-    body: list[str] = []
-    for st in ir.statements:
-        if isinstance(st, Let):
-            body.append(f"        L_{st.name} = {gen.val(st.expr)}")
-        elif isinstance(st, Assign):
-            arr = st.target.array
-            info = ir.arrays[arr]
-            coords = ", ".join(f"W{i}" for i in range(d))
-            body.append(
-                f"        SW(D_{arr}, s_{arr}_{_slot_tag(0)}, ({coords},), "
-                f"{gen.val(st.expr)})"
-            )
     lines = ["def boundary(t, lo, hi):"]
     for i in range(d):
         lines.append(f"    l{i} = lo[{i}]; h{i} = hi[{i}]")
     empty = " or ".join(f"h{i} <= l{i}" for i in range(d))
     lines.append(f"    if {empty}:")
     lines.append("        return")
-    for info in ir.array_infos:
-        for dt in info.dts:
-            lines.append(
-                f"    s_{info.name}_{_slot_tag(dt)} = (t{dt:+d}) % {info.slots}"
-            )
+    lines.extend(_slot_lines(ir, "    "))
+    if em.n_slots:
+        lines.append("    POOL = P.get()")
+    lines.extend(_w_lines(ir, em, "    "))
+    lines.extend(_pool_lines(ir, em, "    "))
+    lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
+    lines.extend(f"        {b}" for b in em.lines)
+    return "\n".join(lines)
+
+
+def _leaf_source(ir: KernelIR, boundary_mode: bool) -> str:
+    """The fused base-case clone (see module docstring).
+
+    Runs ``[ta, tb)`` time steps over a box whose per-dim bounds shift by
+    the zoid slopes after each step.  Everything invariant across steps
+    is hoisted: the errstate context, the pool capacity (sized to the
+    trapezoid's widest step, so slot views never reallocate mid-leaf),
+    and — when a dimension's slopes are zero — its coordinate vectors.
+
+    The boundary leaf uses the *snapshot* strategy: one blockwise halo
+    snapshot per (array, dt) per step, every neighbor read a plain slice
+    of it.  Clip/fill boundary dimensions require the home range to stay
+    in-domain for that to be exact; the generated prologue checks and
+    returns False (caller falls back to per-step clones) otherwise.
+    Returns True when the leaf ran.
+    """
+    em = _lower(ir, boundary_mode, snapshot_mode=boundary_mode)
+    d = ir.ndim
+    name = "leaf_boundary" if boundary_mode else "leaf"
+    lines = [f"def {name}(ta, tb, lo, hi, dlo, dhi):"]
     for i in range(d):
-        # True home coordinates (virtual reduced modulo the grid size).
-        lines.append(f"    W{i} = np.arange(l{i}, h{i}) % {ir.sizes[i]}")
-    for i in sorted(gen.used_axes):
+        lines.append(
+            f"    l{i} = lo[{i}]; h{i} = hi[{i}]; "
+            f"d_l{i} = dlo[{i}]; d_h{i} = dhi[{i}]"
+        )
+    lines.append("    if tb <= ta:")
+    lines.append("        return True")
+    for i in sorted(em.snap_clip_dims):
+        # Clip/fill snapshots are exact only for in-domain home ranges
+        # (a wrapped home coordinate would clamp differently); bounds are
+        # linear in the step, so checking both ends covers every step.
+        lines.append(
+            f"    if (min(l{i}, l{i} + d_l{i} * (tb - ta - 1)) < 0 or "
+            f"max(h{i}, h{i} + d_h{i} * (tb - ta - 1)) > {ir.sizes[i]}):"
+        )
+        lines.append("        return False")
+    if em.n_slots:
+        lines.append("    POOL = P.get()")
+        # Widest step of each projection trapezoid: the extent is linear
+        # in the step, so the max is at one of the two ends.
+        for i in range(d):
+            lines.append(
+                f"    _m{i} = max(h{i} - l{i}, "
+                f"h{i} - l{i} + (d_h{i} - d_l{i}) * (tb - ta - 1))"
+            )
+        cap = " * ".join(
+            f"max(_m{i} + {em.pad_lo[i] + em.pad_hi[i]}, 0)" for i in range(d)
+        )
+        lines.append(f"    POOL.require({cap})")
+    # Per-dimension coordinate caches (IndexValue uses only): rebuilt per
+    # step only when the slopes actually move the bounds.
+    for i in sorted(em.used_axes):
+        lines.append(f"    AX{i}R = None")
+    empty = " or ".join(f"h{i} <= l{i}" for i in range(d))
+    lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
+    lines.append("        for t in range(ta, tb):")
+    lines.append(f"            if not ({empty}):")
+    ind = "                "
+    lines.extend(_slot_lines(ir, ind))
+    for i in sorted(em.used_axes):
         shape = ["1"] * d
         shape[i] = "-1"
-        lines.append(f"    AX{i}R = W{i}.reshape({', '.join(shape)})")
-    lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
-    lines.extend(body)
+        base = (
+            f"(np.arange(l{i}, h{i}) % {ir.sizes[i]})"
+            if boundary_mode
+            else f"np.arange(l{i}, h{i})"
+        )
+        lines.append(f"{ind}if AX{i}R is None or d_l{i} != 0 or d_h{i} != 0:")
+        lines.append(f"{ind}    AX{i}R = {base}.reshape({', '.join(shape)})")
+    lines.extend(_pool_lines(ir, em, ind))
+    lines.extend(f"{ind}{b}" for b in em.lines)
+    for i in range(d):
+        lines.append(f"            l{i} += d_l{i}; h{i} += d_h{i}")
+    lines.append("    return True")
     return "\n".join(lines)
 
 
@@ -294,6 +731,10 @@ def _namespace(ir: KernelIR) -> dict:
         "GF": runtime_support.gather_fill,
         "GC": runtime_support.gather_const,
         "SW": runtime_support.scatter_write,
+        "SB": runtime_support.snapshot_remap,
+        "SBF": runtime_support.snapshot_fill,
+        "SC": runtime_support.scatter_box,
+        "P": runtime_support.LocalPools(),
     }
     for arr_name, arr in ir.arrays.items():
         ns[f"D_{arr_name}"] = arr.data
@@ -302,12 +743,16 @@ def _namespace(ir: KernelIR) -> dict:
     return ns
 
 
+def _compile(src: str, tag: str, ir: KernelIR, fn_name: str):
+    ns = _namespace(ir)
+    exec(compile(src, f"<{tag}:{'_'.join(ir.write_arrays)}>", "exec"), ns)
+    return ns[fn_name]
+
+
 def make_numpy_interior(ir: KernelIR) -> tuple[CloneFn, str]:
     """Generate and compile the vectorized interior clone."""
     src = _interior_source(ir)
-    ns = _namespace(ir)
-    exec(compile(src, f"<split_pointer:{'_'.join(ir.write_arrays)}>", "exec"), ns)
-    return ns["interior"], src
+    return _compile(src, "split_pointer", ir, "interior"), src
 
 
 def make_numpy_boundary(ir: KernelIR) -> tuple[CloneFn, str]:
@@ -316,16 +761,23 @@ def make_numpy_boundary(ir: KernelIR) -> tuple[CloneFn, str]:
     Raises :class:`CompileError` if any array's boundary kind is not
     vectorizable (callers fall back to the per-point boundary clone).
     """
-    for arr in ir.arrays.values():
-        if not is_vectorizable_boundary(arr.boundary):
-            raise CompileError(
-                f"array {arr.name!r} uses non-vectorizable boundary "
-                f"{arr.boundary.describe() if arr.boundary else None}"
-            )
+    _check_vectorizable(ir)
     src = _boundary_source(ir)
-    ns = _namespace(ir)
-    exec(
-        compile(src, f"<split_pointer_bnd:{'_'.join(ir.write_arrays)}>", "exec"),
-        ns,
-    )
-    return ns["boundary"], src
+    return _compile(src, "split_pointer_bnd", ir, "boundary"), src
+
+
+def make_numpy_leaf(ir: KernelIR) -> tuple[LeafFn, str]:
+    """Generate and compile the fused interior base-case clone."""
+    src = _leaf_source(ir, boundary_mode=False)
+    return _compile(src, "split_pointer_leaf", ir, "leaf"), src
+
+
+def make_numpy_leaf_boundary(ir: KernelIR) -> tuple[LeafFn, str]:
+    """Generate and compile the fused boundary base-case clone.
+
+    Raises :class:`CompileError` for non-vectorizable boundary kinds
+    (callers fall back to per-step execution of the per-point clone).
+    """
+    _check_vectorizable(ir)
+    src = _leaf_source(ir, boundary_mode=True)
+    return _compile(src, "split_pointer_leaf_bnd", ir, "leaf_boundary"), src

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.errors import CompileError
 from repro.compiler import codegen_c, codegen_numpy, codegen_python
+from repro.compiler.codegen_numpy import LeafFn
 from repro.compiler.frontend import KernelIR, build_ir
 from repro.language.stencil import Problem
 
@@ -32,7 +33,16 @@ CloneFn = Callable[[int, tuple[int, ...], tuple[int, ...]], None]
 
 @dataclass
 class CompiledKernel:
-    """Both kernel clones plus provenance for reporting and tests."""
+    """The kernel clones plus provenance for reporting and tests.
+
+    ``interior``/``boundary`` apply one time step to one region; they
+    exist in every mode.  ``leaf``/``leaf_boundary`` are the *fused*
+    base-case clones (whole trapezoid time loop inside generated code),
+    generated only by the ``split_pointer`` backend — None in modes that
+    cannot fuse (``interp``, ``macro_shadow``, ``c``) and for
+    non-vectorizable boundaries, where executors fall back to stepping
+    the per-step clones.
+    """
 
     interior: CloneFn
     boundary: CloneFn
@@ -40,6 +50,16 @@ class CompiledKernel:
     boundary_mode: str
     ir: KernelIR
     sources: dict[str, str] = field(default_factory=dict)
+    leaf: LeafFn | None = None
+    leaf_boundary: LeafFn | None = None
+
+    def without_fused_leaves(self) -> "CompiledKernel":
+        """A copy with every fused clone stripped, so base cases step
+        through the per-step clones — the per-step reference used by the
+        ``fuse_leaves=False`` ablation knob, the leaf-fusion benchmark,
+        and the equivalence tests.  (A copy: the cached original keeps
+        its clones.)"""
+        return replace(self, leaf=None, leaf_boundary=None)
 
 
 #: (ir cache key, mode, array tokens) -> CompiledKernel, LRU-ordered.
@@ -129,10 +149,15 @@ def _compile_ir(ir: KernelIR, mode: str) -> CompiledKernel:
     if mode == "split_pointer":
         interior, src_i = codegen_numpy.make_numpy_interior(ir)
         sources["interior"] = src_i
+        leaf, src_l = codegen_numpy.make_numpy_leaf(ir)
+        sources["leaf"] = src_l
+        leaf_boundary = None
         try:
             boundary, src_b = codegen_numpy.make_numpy_boundary(ir)
             boundary_mode = "split_pointer"
             sources["boundary"] = src_b
+            leaf_boundary, src_lb = codegen_numpy.make_numpy_leaf_boundary(ir)
+            sources["leaf_boundary"] = src_lb
         except CompileError:
             boundary, src_b = codegen_python.make_macro_shadow_boundary(ir)
             boundary_mode = "macro_shadow"
@@ -144,6 +169,8 @@ def _compile_ir(ir: KernelIR, mode: str) -> CompiledKernel:
             boundary_mode=boundary_mode,
             ir=ir,
             sources=sources,
+            leaf=leaf,
+            leaf_boundary=leaf_boundary,
         )
     if mode == "c":
         interior, boundary, src = codegen_c.make_c_clones(ir)

@@ -212,6 +212,138 @@ def fold_statements(stmts: Sequence[Statement]) -> list[Statement]:
     return out
 
 
+#: Node kinds CSE will hoist into a Let.  Values (Const/Param/IndexValue)
+#: and LocalReads are free to re-reference; everything else costs work
+#: (an op, a math call, or a gather) when evaluated twice.
+_CSE_ELIGIBLE = (
+    BinOp,
+    UnOp,
+    Call,
+    Where,
+    Compare,
+    BoolOp,
+    NotOp,
+    GridRead,
+    ConstArrayRead,
+)
+
+
+def _reads_written_level(expr: Expr, array: str) -> bool:
+    """True if ``expr`` reads ``array`` at the written time level (dt==0)."""
+    from repro.expr.analysis import walk
+
+    return any(
+        isinstance(n, GridRead) and n.array == array and n.dt == 0
+        for n in walk(expr)
+    )
+
+
+def _cse_use_counts(stmts: Sequence[Statement]) -> dict[Expr, int]:
+    """Reference counts over the hash-consed expression DAG.
+
+    Structural equality collapses repeated subtrees into one DAG node, so
+    a subexpression that occurs twice only *inside* an already-repeated
+    parent counts once — hoisting the parent alone is enough.
+    """
+    counts: dict[Expr, int] = {}
+    visited: set[Expr] = set()
+
+    def visit(e: Expr) -> None:
+        if e in visited:
+            return
+        visited.add(e)
+        for c in e.children():
+            counts[c] = counts.get(c, 0) + 1
+            visit(c)
+
+    for st in stmts:
+        expr = st.expr if isinstance(st, (Let, Assign)) else None
+        if expr is None:
+            raise KernelError(f"unknown statement {type(st).__name__}")
+        counts[expr] = counts.get(expr, 0) + 1
+        visit(expr)
+    return counts
+
+
+def cse_statements(
+    stmts: Sequence[Statement], prefix: str = "_cse"
+) -> list[Statement]:
+    """Common-subexpression elimination over a kernel body.
+
+    Every repeated eligible subexpression is computed once into a Let and
+    re-read via :class:`LocalRead` — e.g. a neighbor sum appearing in two
+    assignments, or the same gather feeding several terms.  Statement
+    order is respected: an Assign to array ``A`` invalidates cached
+    expressions that read ``A`` at the written level (dt == 0), so
+    read-after-write kernels keep their semantics.
+
+    Intended for backends that evaluate eagerly (the vectorized NumPy
+    clones evaluate both branches of a ``Where`` anyway); hoisting out of
+    a ``Where`` branch there never changes observable behavior.
+    """
+    counts = _cse_use_counts(stmts)
+    taken = {st.name for st in stmts if isinstance(st, Let)}
+    while any(name.startswith(prefix) for name in taken):
+        prefix = "_" + prefix
+    available: dict[Expr, str] = {}
+    out: list[Statement] = []
+    fresh = iter(range(1 << 30))
+
+    def rewrite(e: Expr, pending: list[Statement]) -> Expr:
+        if isinstance(e, _CSE_ELIGIBLE) and counts.get(e, 0) >= 2:
+            name = available.get(e)
+            if name is None:
+                name = f"{prefix}{next(fresh)}"
+                pending.append(Let(name, rewrite_children(e, pending)))
+                available[e] = name
+            return LocalRead(name)
+        return rewrite_children(e, pending)
+
+    def rewrite_children(e: Expr, pending: list[Statement]) -> Expr:
+        if isinstance(e, BinOp):
+            return BinOp(e.op, rewrite(e.left, pending), rewrite(e.right, pending))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, rewrite(e.operand, pending))
+        if isinstance(e, Compare):
+            return Compare(
+                e.op, rewrite(e.left, pending), rewrite(e.right, pending)
+            )
+        if isinstance(e, BoolOp):
+            return BoolOp(
+                e.op, rewrite(e.left, pending), rewrite(e.right, pending)
+            )
+        if isinstance(e, NotOp):
+            return NotOp(rewrite(e.operand, pending))
+        if isinstance(e, Where):
+            return Where(
+                rewrite(e.cond, pending),
+                rewrite(e.if_true, pending),
+                rewrite(e.if_false, pending),
+            )
+        if isinstance(e, Call):
+            return Call(e.func, tuple(rewrite(a, pending) for a in e.args))
+        return e
+
+    for st in stmts:
+        pending: list[Statement] = []
+        if isinstance(st, Let):
+            new: Statement = Let(st.name, rewrite(st.expr, pending))
+        elif isinstance(st, Assign):
+            new = Assign(st.target, rewrite(st.expr, pending))
+        else:
+            raise KernelError(f"unknown statement {type(st).__name__}")
+        out.extend(pending)
+        out.append(new)
+        if isinstance(st, Assign):
+            written = st.target.array
+            available = {
+                e: n
+                for e, n in available.items()
+                if not _reads_written_level(e, written)
+            }
+    return out
+
+
 def count_nodes(expr: Expr) -> int:
     """Number of AST nodes — used by tests and the compiler's cost model."""
     total = 1

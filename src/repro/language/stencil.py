@@ -55,6 +55,12 @@ class RunOptions:
         or ``"auto"`` (the default: ``"dag"`` for ``algorithm="trap"``
         with ``n_workers > 1``, ``"threads"`` for other plan algorithms
         with ``n_workers > 1``, else ``"serial"``).
+    ``fuse_leaves``:
+        run base cases through the backend's fused leaf clone (the whole
+        trapezoid time loop inside generated code) when one exists.  On
+        by default; ``False`` forces per-step clone invocation — the
+        ablation knob the leaf-fusion benchmark and equivalence tests
+        use.  Modes without a leaf clone ignore it.
     """
 
     algorithm: str = "trap"
@@ -65,6 +71,7 @@ class RunOptions:
     executor: str = "auto"
     n_workers: int | None = None
     collect_stats: bool = True
+    fuse_leaves: bool = True
 
     def __post_init__(self) -> None:
         algorithms = ("trap", "strap", "loops", "serial_loops", "phase1")

@@ -13,6 +13,13 @@ small enough to stay cache-resident — lands on larger defaults.  The
 paper's exact constants remain available via :func:`paper_thresholds` and
 are exercised by the coarsening ablation benchmark; the ISAT-style
 autotuner (:mod:`repro.autotune.isat`) searches around either default.
+
+The current defaults were retuned (bench_sec4_coarsening /
+bench_leaf_fusion ablation on 2D heat at 256^2..1024^2) after the fused
+leaf clones landed: fusion amortizes per-step dispatch inside one
+generated call and assembles boundary halos blockwise, which moves the
+optimum toward *larger* tiles and taller time blocks than the per-step
+clones preferred (2D: 128^2 x 16 -> 256^2 x 24, ~1.4x end-to-end).
 """
 
 from __future__ import annotations
@@ -24,12 +31,12 @@ from typing import Sequence
 #: the paper's "never cut the unit-stride dimension" rule for >= 3D.
 _DEFAULT_SPACE: dict[int, tuple[int, ...]] = {
     1: (4096,),
-    2: (128, 128),
+    2: (256, 256),
     3: (32, 32, 1024),
     4: (8, 8, 8, 64),
 }
 
-_DEFAULT_DT: dict[int, int] = {1: 64, 2: 16, 3: 8, 4: 4}
+_DEFAULT_DT: dict[int, int] = {1: 64, 2: 24, 3: 8, 4: 4}
 
 
 def default_space_thresholds(ndim: int, sizes: Sequence[int]) -> tuple[int, ...]:

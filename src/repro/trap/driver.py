@@ -88,6 +88,8 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
 
     compiled = compile_kernel(problem, options.mode)
     report.mode = compiled.mode
+    if not options.fuse_leaves:
+        compiled = compiled.without_fused_leaves()
 
     if options.algorithm in ("loops", "serial_loops"):
         parallel = options.algorithm == "loops"

@@ -206,7 +206,26 @@ def run_bounded(
 
 def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
     """Execute one base case: step time forward, shifting the box by the
-    zoid slopes after each step (Figure 2, lines 20–28)."""
+    zoid slopes after each step (Figure 2, lines 20–28).
+
+    When the backend generated a fused leaf clone the whole time loop
+    runs inside generated code — one Python call per base case instead
+    of one per time step.  Modes that cannot fuse (``interp``,
+    ``macro_shadow``, ``c``, non-vectorizable boundaries) take the
+    per-step path below.
+    """
+    fused = compiled.leaf if region.interior else compiled.leaf_boundary
+    if fused is not None and fused(
+        region.ta,
+        region.tb,
+        tuple(xa for xa, _, _, _ in region.dims),
+        tuple(xb for _, xb, _, _ in region.dims),
+        tuple(dxa for _, _, dxa, _ in region.dims),
+        tuple(dxb for _, _, _, dxb in region.dims),
+    ):
+        # A falsy return means the leaf declined this region (e.g. a
+        # wrapped home range under a clip/fill boundary) — step it below.
+        return
     clone = compiled.interior if region.interior else compiled.boundary
     d = len(region.dims)
     lo = [xa for xa, _, _, _ in region.dims]

@@ -76,8 +76,30 @@ def run_loops(
         clone(t, lo, hi)
         return time.perf_counter() - t0
 
+    zero = (0,) * d
+
+    def fused_whole_grid() -> tuple[int, float] | None:
+        """One fused leaf call covering grid x all steps, or None if the
+        leaf declined (caller falls back to per-step clones).
+
+        Legal exactly when every step is a *single* whole-grid region:
+        step t+1's neighbor reads then stay inside the region written at
+        step t, so no per-step interleaving with other regions is
+        needed.  The zero-slope bounds also let the leaf cache its
+        snapshots' coordinate blocks across the whole run.
+        """
+        t0 = time.perf_counter()
+        if compiled.leaf_boundary(
+            problem.t_start, problem.t_end, zero, sizes, zero, zero
+        ):
+            return 1, time.perf_counter() - t0
+        return None
+
     if modulo_everywhere:
-        zero = (0,) * d
+        # Never fuse here: this branch is the Section 4 strawman ("pay
+        # the index modulo at every access"), and the fused snapshot
+        # leaf would dodge exactly the per-step cost it exists to
+        # measure.
         count = 0
         busy = 0.0
         for t in range(problem.t_start, problem.t_end):
@@ -91,6 +113,14 @@ def run_loops(
     lo = tuple(max(0, -m) for m in ir.min_off)
     hi = tuple(min(n, n - M) for n, M in zip(sizes, ir.max_off))
     has_interior = all(l < h for l, h in zip(lo, hi))
+
+    if not has_interior and compiled.leaf_boundary is not None:
+        # Degenerate grid (no box avoids the halo): every step is one
+        # whole-grid boundary sweep (and the parallel path has nothing
+        # to chunk), so run the whole time loop as one fused leaf call.
+        fused = fused_whole_grid()
+        if fused is not None:
+            return fused
 
     count = 0
     if parallel:

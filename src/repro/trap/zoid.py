@@ -20,6 +20,24 @@ from typing import Iterator, Sequence
 DimExtent = tuple[int, int, int, int]
 
 
+def _power_sum(n: int, k: int) -> int:
+    """Exact ``sum(s**k for s in range(n))`` via Faulhaber's recurrence.
+
+    Telescoping ``(s+1)**(k+1) - s**(k+1)`` over ``s < n`` gives
+    ``n**(k+1) = sum_j C(k+1, j) * S_j(n)``; solving for ``S_k`` needs
+    only the lower power sums, and the division is exact.
+    """
+    from math import comb
+
+    sums = [n]  # S_0
+    for m in range(1, k + 1):
+        acc = n ** (m + 1)
+        for j in range(m):
+            acc -= comb(m + 1, j) * sums[j]
+        sums.append(acc // (m + 1))
+    return sums[k]
+
+
 @dataclass(frozen=True, slots=True)
 class Zoid:
     """An immutable zoid (see module docstring).
@@ -92,7 +110,37 @@ class Zoid:
         return True
 
     def volume(self) -> int:
-        """Number of space-time grid points in the zoid (its work)."""
+        """Number of space-time grid points in the zoid (its work).
+
+        Closed form: the per-step point count is the polynomial
+        ``prod_i (b_i + c_i*s)`` in the step ``s`` (``b_i`` the bottom
+        length, ``c_i`` the slope sum), so the volume is its power-sum
+        evaluation — O(d^2) instead of O(height * d), which matters
+        because plan statistics call this for every base region of deep
+        plans.  Lengths that go negative (ill-defined zoids) clamp the
+        step product to zero; that case falls back to the step loop.
+        """
+        h = self.height
+        if h <= 0:
+            return 0
+        coeffs = [1]
+        for xa, xb, dxa, dxb in self.dims:
+            b = xb - xa
+            c = dxb - dxa
+            if b < 0 or b + c * (h - 1) < 0:
+                # A length is negative at one end (lengths are linear in
+                # s, so negativity shows up at an endpoint): the seed's
+                # clamping semantics apply.
+                return self._volume_clamped()
+            nxt = [0] * (len(coeffs) + 1)
+            for k, a in enumerate(coeffs):
+                nxt[k] += a * b
+                nxt[k + 1] += a * c
+            coeffs = nxt
+        return sum(a * _power_sum(h, k) for k, a in enumerate(coeffs) if a)
+
+    def _volume_clamped(self) -> int:
+        """Step-loop volume with negative step products clamped to 0."""
         total = 0
         for t in range(self.ta, self.tb):
             prod = 1

@@ -13,6 +13,8 @@ from tests.conftest import ALL_MODES, make_heat_problem, run_reference
 class _CountingKernel:
     """A fake CompiledKernel whose clones just count invocations."""
 
+    leaf = leaf_boundary = None  # per-step path only
+
     def __init__(self):
         self.calls = 0
 
@@ -91,6 +93,8 @@ class TestExecutors:
             pass
 
         class BrokenKernel:
+            leaf = leaf_boundary = None
+
             def _fail(self, *a):
                 raise Boom("kernel exploded")
 
@@ -156,6 +160,8 @@ class TestSharedPool:
         state = {"now": 0, "max": 0}
 
         class SlowKernel:
+            leaf = leaf_boundary = None
+
             def interior(self, t, lo, hi):
                 with lock:
                     state["now"] += 1

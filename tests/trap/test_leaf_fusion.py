@@ -1,0 +1,139 @@
+"""Fused leaf clones vs per-step clone execution.
+
+The ``split_pointer`` backend's ``leaf``/``leaf_boundary`` clones run a
+base region's whole time loop inside generated code (three-address body,
+scratch-pool temporaries, blockwise halo snapshots).  Fusion must be
+invisible: for any zoid the fused clone must produce exactly the grid
+the per-step clones produce.  A hypothesis test drives randomized zoids
+(slopes, heights, boxes straddling the periodic seam) straight through
+``run_base_region`` both ways, and a registry sweep checks every app
+end-to-end under every executor against the per-step reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import available_apps, build
+from repro.compiler.pipeline import compile_kernel
+from repro.trap.executor import run_base_region
+from repro.trap.plan import BaseRegion
+from tests.conftest import make_heat_problem
+
+T_MAX = 8  # time window prepared for region-level tests
+
+
+def _fresh_compiled(sizes, boundary):
+    """A fresh heat problem compiled in split_pointer mode; returns the
+    PochoirArray (whose raw slotted buffer we compare) and the kernel."""
+    stencil, u, kern = make_heat_problem(sizes, boundary=boundary, seed=11)
+    problem = stencil.prepare(T_MAX, kern)
+    return u, compile_kernel(problem, "split_pointer")
+
+
+def _run_region(sizes, boundary, region, fused):
+    u, compiled = _fresh_compiled(sizes, boundary)
+    if not fused:
+        compiled = compiled.without_fused_leaves()
+    run_base_region(region, compiled)
+    return u.data.copy()
+
+
+@st.composite
+def _zoids(draw, interior):
+    """A random valid zoid over a random small grid.
+
+    Boundary zoids may start anywhere in virtual coordinates (straddling
+    or wholly past the periodic seam); interior zoids keep every read of
+    the slope-shifted box in-domain, as the planner guarantees.  Extents
+    are linear in the step, so endpoint checks cover every step.
+    """
+    ndim = draw(st.integers(1, 2))
+    sizes = tuple(draw(st.integers(6, 12)) for _ in range(ndim))
+    ta = draw(st.integers(1, 3))
+    h = draw(st.integers(1, 4))
+    dims = []
+    for n in sizes:
+        for _ in range(40):
+            lo = draw(st.integers(1 if interior else -n, n - 2))
+            width = draw(st.integers(1, n - 2 if interior else n))
+            dlo = draw(st.integers(-1, 1))
+            dhi = draw(st.integers(-1, 1))
+            hi, flo, fhi = lo + width, lo + dlo * (h - 1), lo + width + dhi * (h - 1)
+            if fhi - flo < 0:
+                continue
+            if interior and not (
+                min(lo, flo) >= 1 and max(hi, fhi) <= n - 1
+            ):
+                continue
+            if not interior and not (
+                -n <= min(lo, flo) and max(hi, fhi) - min(lo, flo) <= n
+            ):
+                continue
+            dims.append((lo, hi, dlo, dhi))
+            break
+        else:
+            dims.append((1, 2, 0, 0))
+    return sizes, BaseRegion(ta, ta + h, tuple(dims), interior=interior)
+
+
+class TestRandomZoids:
+    @settings(max_examples=40, deadline=None)
+    @given(_zoids(interior=True))
+    def test_interior_leaf_matches_per_step(self, case):
+        sizes, region = case
+        fused = _run_region(sizes, "periodic", region, fused=True)
+        steps = _run_region(sizes, "periodic", region, fused=False)
+        assert np.array_equal(fused, steps)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        _zoids(interior=False),
+        st.sampled_from(["periodic", "neumann", "dirichlet"]),
+    )
+    def test_boundary_leaf_matches_per_step(self, case, boundary):
+        sizes, region = case
+        fused = _run_region(sizes, boundary, region, fused=True)
+        steps = _run_region(sizes, boundary, region, fused=False)
+        assert np.array_equal(fused, steps)
+
+    def test_periodic_leaf_accepts_wrapped_home_range(self):
+        # mod-remap snapshots are exact for any virtual box: the leaf
+        # must run (not decline) a seam-straddling region.
+        u, compiled = _fresh_compiled((8,), "periodic")
+        region = BaseRegion(1, 3, ((-2, 3, 0, 0),), interior=False)
+        assert compiled.leaf_boundary(
+            region.ta, region.tb, (-2,), (3,), (0,), (0,)
+        )
+
+    def test_clip_leaf_declines_wrapped_home_range(self):
+        # clip snapshots are only exact for in-domain home boxes; the
+        # generated prologue must return False so the caller falls back.
+        u, compiled = _fresh_compiled((8,), "neumann")
+        assert not compiled.leaf_boundary(1, 3, (-2,), (3,), (0,), (0,))
+        assert compiled.leaf_boundary(1, 3, (0,), (8,), (0,), (0,))
+
+
+EXECUTORS = ("serial", "threads", "dag")
+
+
+@pytest.mark.parametrize("name", available_apps())
+def test_all_apps_fused_equals_per_step(name):
+    """Every registered app, every executor: fused leaves on (default)
+    must reproduce the per-step clone path bit for bit."""
+    ref_app = build(name, "tiny")
+    ref_app.run(dt_threshold=2, fuse_leaves=False)
+    ref = ref_app.result()
+    for executor in EXECUTORS:
+        app = build(name, "tiny")
+        app.run(
+            executor=executor,
+            n_workers=None if executor == "serial" else 3,
+            dt_threshold=2,
+        )
+        assert np.array_equal(app.result(), ref), (
+            f"{name}: fused leaves under {executor!r} diverged from the "
+            f"per-step clone path"
+        )
