@@ -1,0 +1,253 @@
+"""The C backend: fused compiled leaves vs the NumPy backend.
+
+The ``c`` backend now generates fused ``leaf``/``leaf_boundary`` clones:
+the entire base-case trapezoid (time loop, slope shifting, slot
+arithmetic, per-point boundary resolution) runs inside one compiled C
+function, invoked once per base case through ctypes with the GIL
+released.  This benchmark records, for the perf trajectory:
+
+* **interior microbench** — the same heat2d interior base regions driven
+  through ``run_base_region`` under the fused C leaf, the fused NumPy
+  leaf, and both per-step clone paths (the acceptance bar: fused C >= 3x
+  fused NumPy);
+* **apps sweep** — end-to-end TRAP wall time per app, ``c`` (fused and
+  per-step) vs ``split_pointer`` (fused);
+* **dag workers** — the task-DAG executor's wall time at 1/2/4 workers
+  under both backends.  The C leaves hold the GIL for none of their
+  work, so this is where multicore hosts show near-linear interior
+  scaling (a single-core container shows flat lines instead — the
+  recorded ``cpu_count`` says which you are looking at);
+* **equivalence** — fused-C vs per-step-C vs split_pointer, bitwise, for
+  every registered app and every heat boundary kind.
+
+Runnable three ways::
+
+    pytest benchmarks/bench_c_backend.py --benchmark-only -s
+    python benchmarks/bench_c_backend.py            # prints + JSON
+    python benchmarks/bench_c_backend.py --check    # CI smoke: exits
+                                                    # nonzero on any
+                                                    # equivalence
+                                                    # mismatch, never
+                                                    # on timing
+
+Without a C compiler every entry point degrades gracefully: ``--check``
+prints a notice and exits 0 (the CI no-toolchain leg runs exactly this),
+and the pytest entry skips.  A passing measuring run at non-tiny scale
+writes ``BENCH_c_backend.json`` at the repo root; ``--check`` and
+tiny-scale smoke runs leave the record untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.bench_util import best_of, is_tiny, once, wall, write_bench_json  # noqa: E402
+from repro.apps import available_apps, build  # noqa: E402
+from repro.compiler.codegen_c import find_c_compiler  # noqa: E402
+from repro.compiler.pipeline import compile_kernel  # noqa: E402
+from repro.language.stencil import RunOptions  # noqa: E402
+from repro.trap.driver import build_plan  # noqa: E402
+from repro.trap.executor import run_base_region  # noqa: E402
+from repro.trap.plan import iter_base_serial  # noqa: E402
+from tests.conftest import make_heat_problem  # noqa: E402
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _scale() -> tuple[tuple[int, int], int]:
+    return ((96, 96), 24) if is_tiny() else ((512, 512), 64)
+
+
+def _app_names() -> tuple[str, ...]:
+    return ("heat2d", "life", "wave3d", "psa") if not is_tiny() else (
+        "heat2d", "life"
+    )
+
+
+def check_equivalence() -> dict[str, bool]:
+    """Fused-C, per-step-C and split_pointer must agree bitwise on every
+    registered app (tiny scale) and every heat boundary kind."""
+    results: dict[str, bool] = {}
+    for name in available_apps():
+        ref_app = build(name, "tiny")
+        ref_app.run(dt_threshold=2, mode="c", fuse_leaves=False)
+        ref = ref_app.result()
+        app_c = build(name, "tiny")
+        app_c.run(dt_threshold=2, mode="c")
+        app_np = build(name, "tiny")
+        app_np.run(dt_threshold=2, mode="split_pointer")
+        results[f"app:{name}"] = bool(
+            np.array_equal(app_c.result(), ref)
+            and np.array_equal(app_np.result(), ref)
+        )
+    sizes = (24, 24)
+    for boundary in ("periodic", "neumann", "dirichlet"):
+        st_ref, u_ref, k_ref = make_heat_problem(sizes, boundary=boundary)
+        st_ref.run(8, k_ref, mode="c", fuse_leaves=False)
+        ref = u_ref.snapshot(st_ref.cursor)
+        st_c, u_c, k_c = make_heat_problem(sizes, boundary=boundary)
+        st_c.run(8, k_c, mode="c")
+        results[f"boundary:{boundary}"] = bool(
+            np.array_equal(u_c.snapshot(st_c.cursor), ref)
+        )
+    return results
+
+
+def measure_interior_microbench() -> dict:
+    """The heat2d interior base regions of the C-coarsened plan, driven
+    through every leaf strategy.  Identical regions for every backend,
+    so this isolates the per-leaf cost (coarsening policy is measured by
+    the apps sweep, which lets each backend pick its own plan)."""
+    sizes, T = _scale()
+    st_, u, k = make_heat_problem(sizes)
+    problem = st_.prepare(T, k)
+    compiled_c = compile_kernel(problem, "c")
+    compiled_np = compile_kernel(problem, "split_pointer")
+    plan = build_plan(problem, RunOptions(mode="c"))
+    regions = [r for r in iter_base_serial(plan) if r.interior]
+    variants = {
+        "fused_c": compiled_c,
+        "fused_numpy": compiled_np,
+        "per_step_c": compiled_c.without_fused_leaves(),
+        "per_step_numpy": compiled_np.without_fused_leaves(),
+    }
+    out: dict = {
+        "workload": {
+            "app": "heat2d",
+            "grid": list(sizes),
+            "steps": T,
+            "interior_regions": len(regions),
+        }
+    }
+    times = {}
+    for name, comp in variants.items():
+        run = lambda comp=comp: [run_base_region(r, comp) for r in regions]
+        run()  # warm scratch pools / code caches
+        times[name] = best_of(run)
+        out[f"{name}_s"] = round(times[name], 4)
+    out["c_over_numpy_fused"] = (
+        round(times["fused_numpy"] / times["fused_c"], 3)
+        if times["fused_c"] > 0
+        else 0.0
+    )
+    out["fusion_speedup_c"] = (
+        round(times["per_step_c"] / times["fused_c"], 3)
+        if times["fused_c"] > 0
+        else 0.0
+    )
+    return out
+
+
+def measure_apps() -> dict:
+    """End-to-end TRAP (serial executor) per app: each backend runs its
+    own default (backend-tuned) coarsening."""
+    out: dict = {}
+    for name in _app_names():
+        build(name, "tiny" if is_tiny() else "small").run(mode="c")  # warm cc
+        entry = {}
+        for key, options in (
+            ("c_s", dict(mode="c")),
+            ("numpy_s", dict(mode="split_pointer")),
+            ("c_per_step_s", dict(mode="c", fuse_leaves=False)),
+        ):
+            app = build(name, "tiny" if is_tiny() else "small")
+            entry[key] = round(wall(lambda: app.run(**options)), 4)
+        entry["c_over_numpy"] = (
+            round(entry["numpy_s"] / entry["c_s"], 3) if entry["c_s"] > 0 else 0.0
+        )
+        out[name] = entry
+    return out
+
+
+def measure_dag_workers() -> dict:
+    """The task-DAG executor at several worker counts, both backends.
+
+    The C leaves release the GIL for the whole base case, so on a
+    multicore host the interior-dominated heat workload scales with
+    workers; NumPy leaves re-enter the interpreter between ufuncs and
+    saturate much earlier.
+    """
+    sizes, T = ((96, 96), 24) if is_tiny() else ((768, 768), 96)
+    out: dict = {
+        "workload": {"app": "heat2d", "grid": list(sizes), "steps": T},
+        "cpu_count": os.cpu_count() or 1,
+    }
+    for mode in ("c", "split_pointer"):
+        st_w, _, k_w = make_heat_problem(sizes)
+        st_w.run(1, k_w, mode=mode)  # warm compile outside the timing
+        walls = {}
+        for w in WORKER_COUNTS:
+            def run(w=w, mode=mode):
+                st_, _, k = make_heat_problem(sizes)
+                return st_.run(T, k, mode=mode, executor="dag", n_workers=w)
+
+            walls[str(w)] = round(best_of(run), 4)
+        out[mode] = walls
+    return out
+
+
+def run_c_backend(check_only: bool = False) -> dict:
+    equivalence = check_equivalence()
+    payload: dict = {"equivalence": equivalence}
+    if not check_only:
+        payload["interior_microbench"] = measure_interior_microbench()
+        payload["apps"] = measure_apps()
+        payload["dag_workers"] = measure_dag_workers()
+        # Only a passing, non-smoke measuring run may write: timings from
+        # a kernel producing wrong grids would clobber the committed
+        # perf-trajectory record with unusable data.
+        if all(equivalence.values()) and not is_tiny():
+            write_bench_json("c_backend", payload)
+    return payload
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
+def test_c_backend(benchmark):
+    if find_c_compiler() is None:
+        import pytest
+
+        pytest.skip("no C compiler")
+    payload = once(benchmark, run_c_backend)
+    bad = sorted(k for k, ok in payload["equivalence"].items() if not ok)
+    assert not bad, f"C backend diverged: {bad}"
+    micro = payload["interior_microbench"]
+    benchmark.extra_info["c_over_numpy_fused"] = micro["c_over_numpy_fused"]
+    print(
+        f"\n[c-backend] heat2d {micro['workload']['grid']} x "
+        f"{micro['workload']['steps']} interior: fused-C "
+        f"{micro['fused_c_s']:.4f}s vs fused-NumPy "
+        f"{micro['fused_numpy_s']:.4f}s -> {micro['c_over_numpy_fused']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    check_only = "--check" in sys.argv
+    if find_c_compiler() is None:
+        # The graceful-degradation contract the CI no-toolchain leg
+        # checks: no compiler is a skip, not a failure — runs fall back
+        # to split_pointer (see test_no_compiler_degrades_to_split_pointer).
+        print("no C compiler found: C-backend benchmark skipped")
+        sys.exit(0)
+    payload = run_c_backend(check_only=check_only)
+    bad = sorted(k for k, ok in payload["equivalence"].items() if not ok)
+    if bad:
+        print(f"EQUIVALENCE MISMATCH: {bad}", file=sys.stderr)
+        sys.exit(1)
+    if check_only:
+        print(
+            f"c backend equivalence ok "
+            f"({len(payload['equivalence'])} cases: all apps + boundaries)"
+        )
+    else:
+        micro = payload["interior_microbench"]
+        print(
+            f"c backend: fused-C {micro['c_over_numpy_fused']:.2f}x fused-NumPy "
+            f"on the interior microbench — BENCH_c_backend.json written"
+        )

@@ -347,6 +347,53 @@ def run_sec4() -> dict:
     return out
 
 
+BACKEND_APPS = ("heat2d", "life", "wave3d", "lbm", "psa")
+
+
+def run_backends() -> dict:
+    """Backend trajectory: Mpoints/s per app, split_pointer vs c.
+
+    Feeds the ``backends`` section of BENCH_harness.json so the C-vs-
+    NumPy ratio per app is tracked across PRs (BENCH_c_backend.json has
+    the deeper single-PR view: microbench, per-step ablation, worker
+    scaling).  Skips the ``c`` column when no toolchain exists.
+    """
+    modes = ["split_pointer"]
+    if "c" in available_modes():
+        modes.append("c")
+    print(f"\n== Backends: Mpoints/s by codegen mode ({', '.join(modes)})")
+    out: dict = {}
+    for name in BACKEND_APPS:
+        pts = 0
+        entry = {}
+        for mode in modes:
+            warm = build(name, scale())
+            warm.stencil.run(1, warm.kernel, mode=mode)  # warm kernel cache / cc
+            if not pts:
+                pts = warm.steps
+                for s in warm.sizes:
+                    pts *= s
+            app = build(name, scale())
+            elapsed = wall(lambda: app.run(mode=mode))
+            entry[f"{mode}_mpts"] = round(pts / elapsed / 1e6, 3)
+        if len(modes) == 2:
+            entry["c_over_numpy"] = round(
+                entry["c_mpts"] / entry["split_pointer_mpts"], 3
+            )
+        out[name] = entry
+        print(
+            "   "
+            + f"{name:8s} "
+            + "  ".join(f"{m}: {entry[f'{m}_mpts']:8.2f}" for m in modes)
+            + (
+                f"  (c/numpy {entry['c_over_numpy']:.2f}x)"
+                if "c_over_numpy" in entry
+                else ""
+            )
+        )
+    return out
+
+
 SECTIONS = {
     "intro": run_intro,
     "fig3": run_fig3,
@@ -355,6 +402,7 @@ SECTIONS = {
     "fig10": run_fig10,
     "fig13": run_fig13,
     "sec4": run_sec4,
+    "backends": run_backends,
 }
 
 

@@ -9,9 +9,32 @@ same mod trick as Figure 6 line 1 of the paper — and resolves off-domain
 reads per the array's boundary kind (periodic wrap, Neumann clamp,
 Dirichlet fill).
 
+Four clones are generated per kernel, mirroring the ``split_pointer``
+backend:
+
+* ``interior_step`` / ``boundary_step`` — one time step on one region.
+* ``leaf`` / ``leaf_boundary`` — the *fused* base-case clones: the whole
+  trapezoid (time loop, per-step slope shifting of the bounds, ping-pong
+  slot arithmetic, per-point boundary resolution) runs inside one C
+  function, invoked once per base case.  Because the per-point MOD/CLAMP
+  mapping is exact for any virtual box, the C fused boundary leaf never
+  declines a region — unlike the NumPy snapshot leaf, which must fall
+  back for wrapped home ranges under clip/fill boundaries.
+
+Every clone takes its bounds as *scalar* ``i64`` arguments (the
+dimensionality is a codegen-time constant), so a call marshals a handful
+of ints: no per-call ctypes array construction, no shared argument
+buffers for DAG workers to contend on.  ``argtypes``/``restype`` are
+prebound once at load.  ctypes releases the GIL for the duration of
+every call, so parallel executors get true multicore execution out of
+these clones.
+
 Compiled objects are cached on disk keyed by a hash of the generated
-source, so repeated runs (and repeated test invocations) pay the compiler
-cost once.
+source *and the compiler's identity* (path + version banner), so
+repeated runs pay the compiler cost once and a toolchain upgrade can
+never load a stale shared object.  A cache entry that fails to load
+(truncated write, foreign architecture) is evicted and rebuilt instead
+of erroring.
 """
 
 from __future__ import annotations
@@ -22,6 +45,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
@@ -29,7 +53,12 @@ import numpy as np
 
 from repro.errors import CompileError, KernelError
 from repro.compiler.frontend import KernelIR
-from repro.compiler.codegen_numpy import boundary_fill_expr, boundary_modes
+from repro.compiler.codegen_numpy import (
+    LeafFn,
+    boundary_fill_expr,
+    boundary_modes,
+    is_vectorizable_boundary,
+)
 from repro.expr.nodes import (
     Assign,
     BinOp,
@@ -72,11 +101,49 @@ typedef long long i64;
 
 
 def find_c_compiler() -> str | None:
-    """Path of a usable C compiler, or None."""
+    """Path of a usable C compiler, or None.
+
+    ``REPRO_NO_CC`` (any non-empty value) forces None — the hook CI's
+    no-toolchain job leg uses to prove the ``c`` mode degrades cleanly
+    on machines without a compiler.
+    """
+    if os.environ.get("REPRO_NO_CC"):
+        return None
     for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
         if cand and shutil.which(cand):
             return cand
     return None
+
+
+#: cc path -> one-line identity ("basename|version banner"), memoized per
+#: process; subprocessing the compiler per compile_kernel call would cost
+#: more than the cache lookup it keys.
+_CC_IDENTITY: dict[str, str] = {}
+
+
+def compiler_identity(cc: str) -> str:
+    """Stable one-line identity of the toolchain (name + version banner).
+
+    Folded into the on-disk cache digest so that upgrading or switching
+    the compiler invalidates every cached shared object built by the old
+    one — a stale ``.so`` with a source-only key would silently survive a
+    toolchain change.
+    """
+    ident = _CC_IDENTITY.get(cc)
+    if ident is None:
+        banner = ""
+        try:
+            proc = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, timeout=10
+            )
+            out = (proc.stdout or proc.stderr).strip().splitlines()
+            if out:
+                banner = out[0]
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        ident = f"{os.path.basename(cc)}|{banner}"
+        _CC_IDENTITY[cc] = ident
+    return ident
 
 
 def _strides(sizes: tuple[int, ...]) -> tuple[int, ...]:
@@ -224,31 +291,38 @@ class _CCodegen:
         return f"({self.val(e)} != 0.0)"
 
 
-def _fn_source(ir: KernelIR, *, boundary_mode: bool) -> str:
-    gen = _CCodegen(ir, boundary_mode)
+def _ptr_args(ir: KernelIR) -> list[str]:
+    """Data-pointer parameters shared by every clone signature."""
+    args = [f"double* D_{info.name}" for info in ir.array_infos]
+    args.extend(f"const double* C_{c}" for c in sorted(ir.const_arrays))
+    return args
+
+
+def _slot_lines(ir: KernelIR, indent: str) -> list[str]:
+    return [
+        f"{indent}const i64 s_{info.name}_{_slot_tag(dt)} = "
+        f"MOD(t{dt:+d}, {info.slots}L);"
+        for info in ir.array_infos
+        for dt in info.dts
+    ]
+
+
+def _body_lines(
+    ir: KernelIR, gen: _CCodegen, indent: str, *, boundary_mode: bool
+) -> list[str]:
+    """The per-point loop nest shared by the per-step and fused clones.
+
+    Interior clones loop ``x{i}`` straight over the (in-domain) bounds;
+    boundary clones loop virtual ``v{i}`` and reduce to true coordinates
+    with the sign-safe MOD.
+    """
     d = ir.ndim
-    name = "boundary_step" if boundary_mode else "interior_step"
-    args = []
-    for info in ir.array_infos:
-        args.append(f"double* D_{info.name}")
-    for cname in sorted(ir.const_arrays):
-        args.append(f"const double* C_{cname}")
-    args.append("i64 t")
-    args.append("const i64* lo")
-    args.append("const i64* hi")
-    lines = [f"void {name}({', '.join(args)}) {{"]
-    for info in ir.array_infos:
-        for dt in info.dts:
-            lines.append(
-                f"  const i64 s_{info.name}_{_slot_tag(dt)} = "
-                f"MOD(t{dt:+d}, {info.slots}L);"
-            )
-    indent = "  "
+    lines: list[str] = []
     loop_var = "v" if boundary_mode else "x"
     for i in range(d):
         lines.append(
-            f"{indent}for (i64 {loop_var}{i} = lo[{i}]; "
-            f"{loop_var}{i} < hi[{i}]; ++{loop_var}{i}) {{"
+            f"{indent}for (i64 {loop_var}{i} = l{i}; "
+            f"{loop_var}{i} < h{i}; ++{loop_var}{i}) {{"
         )
         indent += "  "
         if boundary_mode:
@@ -265,18 +339,66 @@ def _fn_source(ir: KernelIR, *, boundary_mode: bool) -> str:
                 f"{indent}D_{arr_name}[s_{arr_name}_{_slot_tag(0)}*"
                 f"{arr.spatial_points}L + {flat}] = {gen.val(st.expr)};"
             )
-    for i in range(d):
+    for _ in range(d):
         indent = indent[:-2]
         lines.append(f"{indent}}}")
+    return lines
+
+
+def _fn_source(ir: KernelIR, *, boundary_mode: bool) -> str:
+    """One-time-step clone: ``(ptrs..., t, l0.., h0..)``, scalar bounds."""
+    gen = _CCodegen(ir, boundary_mode)
+    d = ir.ndim
+    name = "boundary_step" if boundary_mode else "interior_step"
+    args = _ptr_args(ir) + ["i64 t"]
+    args += [f"i64 l{i}" for i in range(d)]
+    args += [f"i64 h{i}" for i in range(d)]
+    lines = [f"void {name}({', '.join(args)}) {{"]
+    lines.extend(_slot_lines(ir, "  "))
+    lines.extend(_body_lines(ir, gen, "  ", boundary_mode=boundary_mode))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _leaf_fn_source(ir: KernelIR, *, boundary_mode: bool) -> str:
+    """The fused base-case clone: the whole trapezoid inside one call.
+
+    ``(ptrs..., ta, tb, l0.., h0.., dl0.., dh0..)`` runs the time loop
+    ``[ta, tb)``, shifting each dimension's bounds by its zoid slopes
+    after every step (Figure 2, lines 20-28).  Slot arithmetic is
+    re-derived per step (the ping-pong MOD); an empty shifted box costs
+    one loop-bound test.  Bounds arrive by value, so the slope shift
+    mutates the parameters directly.
+    """
+    gen = _CCodegen(ir, boundary_mode)
+    d = ir.ndim
+    name = "leaf_boundary" if boundary_mode else "leaf"
+    args = _ptr_args(ir) + ["i64 ta", "i64 tb"]
+    args += [f"i64 l{i}" for i in range(d)]
+    args += [f"i64 h{i}" for i in range(d)]
+    args += [f"i64 dl{i}" for i in range(d)]
+    args += [f"i64 dh{i}" for i in range(d)]
+    lines = [f"void {name}({', '.join(args)}) {{"]
+    lines.append("  for (i64 t = ta; t < tb; ++t) {")
+    lines.extend(_slot_lines(ir, "    "))
+    lines.extend(_body_lines(ir, gen, "    ", boundary_mode=boundary_mode))
+    shift = " ".join(f"l{i} += dl{i}; h{i} += dh{i};" for i in range(d))
+    lines.append(f"    {shift}")
+    lines.append("  }")
     lines.append("}")
     return "\n".join(lines)
 
 
 def generate_c_source(ir: KernelIR, *, include_boundary: bool = True) -> str:
-    """The full postsource: prelude + interior (+ boundary) clones."""
-    parts = [_PRELUDE, _fn_source(ir, boundary_mode=False)]
+    """The full postsource: prelude + per-step and fused clone pairs."""
+    parts = [
+        _PRELUDE,
+        _fn_source(ir, boundary_mode=False),
+        _leaf_fn_source(ir, boundary_mode=False),
+    ]
     if include_boundary:
         parts.append(_fn_source(ir, boundary_mode=True))
+        parts.append(_leaf_fn_source(ir, boundary_mode=True))
     return "\n\n".join(parts) + "\n"
 
 
@@ -290,20 +412,38 @@ def _cache_dir() -> Path:
     return path
 
 
-def build_shared_object(source: str) -> Path:
-    """Compile C source to a cached shared object; return its path."""
+#: Compile flags, part of the cache digest (changing them must not load
+#: an object built with the old set).  ``-ffp-contract=off`` pins the
+#: floating-point semantics to the expression tree: without it, gcc -O2
+#: contracts a*b+c into fused multiply-add on FMA-default targets (e.g.
+#: aarch64), breaking the bitwise C-vs-NumPy equivalence contract the
+#: tests and CI smoke enforce.
+_CFLAGS = ("-O2", "-ffp-contract=off", "-fPIC", "-shared")
+
+
+def build_shared_object(source: str, *, force: bool = False) -> Path:
+    """Compile C source to a cached shared object; return its path.
+
+    The cache key hashes the source, the compile flags *and*
+    :func:`compiler_identity`, so a toolchain upgrade (or flag change)
+    compiles afresh instead of loading the old object.  ``force``
+    recompiles even when a cached object exists (the load-failure
+    eviction path).
+    """
     cc = find_c_compiler()
     if cc is None:
         raise CompileError("no C compiler found (tried $CC, cc, gcc, clang)")
-    digest = hashlib.sha256(source.encode()).hexdigest()[:24]
+    digest = hashlib.sha256(
+        f"{compiler_identity(cc)}\n{' '.join(_CFLAGS)}\n{source}".encode()
+    ).hexdigest()[:24]
     cache = _cache_dir()
     so_path = cache / f"kernel_{digest}.so"
-    if so_path.exists():
+    if so_path.exists() and not force:
         return so_path
     c_path = cache / f"kernel_{digest}.c"
     c_path.write_text(source)
     tmp_so = cache / f"kernel_{digest}.{os.getpid()}.tmp.so"
-    cmd = [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp_so), str(c_path), "-lm"]
+    cmd = [cc, *_CFLAGS, "-o", str(tmp_so), str(c_path), "-lm"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         raise CompileError(
@@ -313,64 +453,104 @@ def build_shared_object(source: str) -> Path:
     return so_path
 
 
-def _wrap(
-    lib_fn, ir: KernelIR
-) -> CloneFn:
+def load_shared_object(source: str) -> ctypes.CDLL:
+    """Build (or reuse) and load the shared object for ``source``.
+
+    A cached object that fails to load — truncated write from a killed
+    process, an object built for another architecture carried over in a
+    shared cache dir — is *evicted* and rebuilt once, instead of pinning
+    the cache in a permanently broken state.
+    """
+    so_path = build_shared_object(source)
+    try:
+        return ctypes.CDLL(str(so_path))
+    except OSError:
+        try:
+            so_path.unlink()
+        except OSError:
+            pass
+        return ctypes.CDLL(str(build_shared_object(source, force=True)))
+
+
+@dataclass
+class CClones:
+    """The compiled C entry points for one kernel.
+
+    ``boundary``/``leaf_boundary`` are None when some array uses a
+    boundary kind C cannot express (PythonBoundary); the pipeline
+    substitutes the per-point Python boundary clone and per-step
+    fallback, same as the NumPy backend.
+    """
+
+    interior: CloneFn
+    boundary: CloneFn | None
+    leaf: LeafFn
+    leaf_boundary: LeafFn | None
+    source: str
+
+
+def make_c_clones(ir: KernelIR) -> CClones:
+    """Compile all four clones to C and bind them through ctypes.
+
+    ``argtypes``/``restype`` are prebound here, once per compiled clone;
+    calls then marshal plain Python ints into scalar ``i64`` parameters.
+    There are no per-call ctypes arrays and no mutable shared argument
+    buffers, so DAG workers invoke the same clone concurrently without
+    contending — and ctypes drops the GIL for the duration of each call,
+    which is what lets the task-DAG runtime scale on multicore hosts.
+    """
+    boundary_ok = all(
+        is_vectorizable_boundary(a.boundary) for a in ir.arrays.values()
+    )
+    source = generate_c_source(ir, include_boundary=boundary_ok)
+    lib = load_shared_object(source)
+
     d = ir.ndim
+    n_ptr_args = len(ir.array_infos) + len(ir.const_arrays)
+    ptr_types = [ctypes.POINTER(ctypes.c_double)] * n_ptr_args
+    step_argtypes = ptr_types + [ctypes.c_longlong] * (1 + 2 * d)
+    leaf_argtypes = ptr_types + [ctypes.c_longlong] * (2 + 4 * d)
+
     arr_ptrs = [
         ir.arrays[info.name].data.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
         for info in ir.array_infos
     ]
-    # Keep contiguous const buffers alive for the lifetime of the clone:
+    # Keep contiguous const buffers alive for the lifetime of the clones:
     # ctypes pointers do not hold a reference to their source array.
     const_bufs = [
         np.ascontiguousarray(ir.const_arrays[n].values)
         for n in sorted(ir.const_arrays)
     ]
-    const_ptrs = [
+    ptrs = tuple(arr_ptrs) + tuple(
         buf.ctypes.data_as(ctypes.POINTER(ctypes.c_double)) for buf in const_bufs
-    ]
-    IdxArr = ctypes.c_longlong * d
-
-    def clone(
-        t: int,
-        lo: tuple[int, ...],
-        hi: tuple[int, ...],
-        _keepalive=const_bufs,
-    ) -> None:
-        lib_fn(*arr_ptrs, *const_ptrs, t, IdxArr(*lo), IdxArr(*hi))
-
-    return clone
-
-
-def make_c_clones(ir: KernelIR) -> tuple[CloneFn, CloneFn | None, str]:
-    """Compile interior and (if expressible) boundary clones to C.
-
-    Returns (interior, boundary_or_None, source).  A None boundary means
-    the array set uses a boundary kind C cannot express (PythonBoundary);
-    the pipeline substitutes the per-point Python boundary clone.
-    """
-    from repro.compiler.codegen_numpy import is_vectorizable_boundary
-
-    boundary_ok = all(
-        is_vectorizable_boundary(a.boundary) for a in ir.arrays.values()
     )
-    source = generate_c_source(ir, include_boundary=boundary_ok)
-    so_path = build_shared_object(source)
-    lib = ctypes.CDLL(str(so_path))
 
-    n_ptr_args = len(ir.array_infos) + len(ir.const_arrays)
-    argtypes = [ctypes.POINTER(ctypes.c_double)] * n_ptr_args + [
-        ctypes.c_longlong,
-        ctypes.POINTER(ctypes.c_longlong),
-        ctypes.POINTER(ctypes.c_longlong),
-    ]
-    lib.interior_step.argtypes = argtypes
-    lib.interior_step.restype = None
-    interior = _wrap(lib.interior_step, ir)
+    def bind_step(fn) -> CloneFn:
+        fn.argtypes = step_argtypes
+        fn.restype = None
+
+        def clone(t, lo, hi, _keepalive=const_bufs):
+            fn(*ptrs, t, *lo, *hi)
+
+        return clone
+
+    def bind_leaf(fn) -> LeafFn:
+        fn.argtypes = leaf_argtypes
+        fn.restype = None
+
+        def leaf(ta, tb, lo, hi, dlo, dhi, _keepalive=const_bufs):
+            fn(*ptrs, ta, tb, *lo, *hi, *dlo, *dhi)
+            # Per-point MOD/CLAMP/fill resolution is exact for any
+            # virtual box, so the C leaf never declines a region.
+            return True
+
+        return leaf
+
+    interior = bind_step(lib.interior_step)
+    leaf = bind_leaf(lib.leaf)
     boundary: CloneFn | None = None
+    leaf_boundary: LeafFn | None = None
     if boundary_ok:
-        lib.boundary_step.argtypes = argtypes
-        lib.boundary_step.restype = None
-        boundary = _wrap(lib.boundary_step, ir)
-    return interior, boundary, source
+        boundary = bind_step(lib.boundary_step)
+        leaf_boundary = bind_leaf(lib.leaf_boundary)
+    return CClones(interior, boundary, leaf, leaf_boundary, source)

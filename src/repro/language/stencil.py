@@ -42,8 +42,9 @@ class RunOptions:
         — the ``-split-macro-shadow`` analogue),
         ``"split_pointer"`` (vectorized NumPy slice kernels — the
         ``-split-pointer`` analogue), ``"c"`` (generated C compiled with
-        the system compiler), or ``"auto"`` (best available: C if a
-        toolchain exists and the kernel is expressible, else NumPy).
+        the system compiler: per-step *and* fused-leaf clones, invoked
+        with the GIL released), or ``"auto"`` (the NumPy backend —
+        always available; see ``pipeline.resolve_mode``).
     ``dt_threshold`` / ``space_thresholds``:
         base-case coarsening (Section 4); ``None`` applies the paper's
         heuristics (2D: 100x100x5; >=3D: never cut the unit-stride
@@ -57,10 +58,12 @@ class RunOptions:
         with ``n_workers > 1``, else ``"serial"``).
     ``fuse_leaves``:
         run base cases through the backend's fused leaf clone (the whole
-        trapezoid time loop inside generated code) when one exists.  On
-        by default; ``False`` forces per-step clone invocation — the
-        ablation knob the leaf-fusion benchmark and equivalence tests
-        use.  Modes without a leaf clone ignore it.
+        trapezoid time loop inside generated code — NumPy three-address
+        bodies in ``split_pointer``, one GIL-released compiled call in
+        ``c``) when one exists.  On by default; ``False`` forces
+        per-step clone invocation — the ablation knob the leaf-fusion
+        and C-backend benchmarks and the equivalence tests use.  Modes
+        without a leaf clone (``interp``, ``macro_shadow``) ignore it.
     """
 
     algorithm: str = "trap"

@@ -20,6 +20,14 @@ leaf clones landed: fusion amortizes per-step dispatch inside one
 generated call and assembles boundary halos blockwise, which moves the
 optimum toward *larger* tiles and taller time blocks than the per-step
 clones preferred (2D: 128^2 x 16 -> 256^2 x 24, ~1.4x end-to-end).
+
+The thresholds are now *backend-aware* (``codegen_mode``): the fused C
+leaves pay roughly one microsecond of ctypes dispatch per base case and
+a few nanoseconds per point, so the optimum sits at markedly *smaller*
+zoids than the NumPy leaves want — small enough to stay cache-resident
+and to hand the task-DAG runtime real parallelism, large enough that the
+Python-side walker/plan overhead stays amortized (bench_c_backend on 2D
+heat at 512^2 x 64: 128^2 x 16 beats the NumPy-tuned 256^2 x 24 tiles).
 """
 
 from __future__ import annotations
@@ -38,11 +46,30 @@ _DEFAULT_SPACE: dict[int, tuple[int, ...]] = {
 
 _DEFAULT_DT: dict[int, int] = {1: 64, 2: 24, 3: 8, 4: 4}
 
+#: The C backend's defaults: cheaper leaves want smaller, cache-resident
+#: zoids (and the extra base cases feed the DAG runtime's parallelism).
+_C_SPACE: dict[int, tuple[int, ...]] = {
+    1: (2048,),
+    2: (128, 128),
+    3: (16, 16, 512),
+    4: (6, 6, 6, 48),
+}
 
-def default_space_thresholds(ndim: int, sizes: Sequence[int]) -> tuple[int, ...]:
-    """Per-dimension coarsening thresholds (see module docstring)."""
-    if ndim in _DEFAULT_SPACE:
-        base = _DEFAULT_SPACE[ndim]
+_C_DT: dict[int, int] = {1: 32, 2: 16, 3: 6, 4: 3}
+
+
+def default_space_thresholds(
+    ndim: int, sizes: Sequence[int], codegen_mode: str | None = None
+) -> tuple[int, ...]:
+    """Per-dimension coarsening thresholds (see module docstring).
+
+    ``codegen_mode`` selects the table tuned for the backend that will
+    execute the base cases (``"c"`` vs the NumPy-leaf defaults); None or
+    an unknown mode keeps the NumPy-tuned defaults.
+    """
+    space = _C_SPACE if codegen_mode == "c" else _DEFAULT_SPACE
+    if ndim in space:
+        base = space[ndim]
     else:
         base = (4,) * (ndim - 1) + (64,)
     # Never make a threshold smaller than needed to terminate: a threshold
@@ -52,8 +79,9 @@ def default_space_thresholds(ndim: int, sizes: Sequence[int]) -> tuple[int, ...]
     return tuple(min(t, max(4, s)) for t, s in zip(base, sizes))
 
 
-def default_dt_threshold(ndim: int) -> int:
-    return _DEFAULT_DT.get(ndim, 3)
+def default_dt_threshold(ndim: int, codegen_mode: str | None = None) -> int:
+    dt = _C_DT if codegen_mode == "c" else _DEFAULT_DT
+    return dt.get(ndim, 3)
 
 
 def paper_thresholds(ndim: int) -> tuple[tuple[int, ...], int]:

@@ -41,6 +41,8 @@ from repro.trap.zoid import full_grid_zoid
 
 def _walk_setup(problem: Problem, options: RunOptions):
     """Shared geometry for both walker output paths."""
+    from repro.compiler.pipeline import resolve_mode
+
     if options.algorithm not in ("trap", "strap"):
         raise SpecificationError(
             f"build_plan only handles trap/strap, got {options.algorithm!r}"
@@ -54,6 +56,10 @@ def _walk_setup(problem: Problem, options: RunOptions):
         space_thresholds=options.space_thresholds,
         protect_unit_stride=options.protect_unit_stride,
         hyperspace=(options.algorithm == "trap"),
+        # Coarsening defaults are tuned per backend: the cheap fused C
+        # leaves want smaller zoids than the NumPy leaves (and the extra
+        # base cases feed the DAG runtime's parallelism).
+        codegen_mode=resolve_mode(options.mode),
     )
     top = full_grid_zoid(problem.t_start, problem.t_end, problem.sizes)
     return top, spec, opts

@@ -15,9 +15,11 @@ stealing.  Three executors approximate it at different fidelities:
   dependencies finish, the closest analogue of Cilk's greedy execution
   of the spawn tree.
 
-NumPy and C kernels release the GIL for the bulk of their work, so
-threads provide real parallelism on multi-core hosts; the *scalability
-analysis* for Figure 9 comes from the work/span analyzer
+NumPy kernels release the GIL for the bulk of their work and the C
+backend's fused leaves release it for the *entire* base-case trapezoid
+(one ctypes call per region), so threads provide real parallelism on
+multi-core hosts; the *scalability analysis* for Figure 9 comes from the
+work/span analyzer
 (:mod:`repro.runtime.workspan`) and the schedule simulators
 (:mod:`repro.runtime.scheduler`), mirroring how the paper separates
 Cilkview measurements from runtime measurements.
@@ -208,24 +210,25 @@ def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
     """Execute one base case: step time forward, shifting the box by the
     zoid slopes after each step (Figure 2, lines 20–28).
 
-    When the backend generated a fused leaf clone the whole time loop
-    runs inside generated code — one Python call per base case instead
-    of one per time step.  Modes that cannot fuse (``interp``,
-    ``macro_shadow``, ``c``, non-vectorizable boundaries) take the
-    per-step path below.
+    When the backend generated a fused leaf clone (``split_pointer``'s
+    NumPy leaves or ``c``'s compiled leaves) the whole time loop runs
+    inside generated code — one Python call per base case instead of one
+    per time step; the C leaves additionally release the GIL for the
+    whole trapezoid, so DAG workers execute base cases truly in
+    parallel.  Modes that cannot fuse (``interp``, ``macro_shadow``,
+    non-vectorizable boundaries) take the per-step path below.
     """
     fused = compiled.leaf if region.interior else compiled.leaf_boundary
-    if fused is not None and fused(
-        region.ta,
-        region.tb,
-        tuple(xa for xa, _, _, _ in region.dims),
-        tuple(xb for _, xb, _, _ in region.dims),
-        tuple(dxa for _, _, dxa, _ in region.dims),
-        tuple(dxb for _, _, _, dxb in region.dims),
-    ):
+    if fused is not None:
+        # One zip(*...) instead of four generator-expression tuples:
+        # this dispatch is the per-base-case hot path for compiled
+        # leaves, where the kernel itself may cost only microseconds.
+        lo, hi, dlo, dhi = zip(*region.dims)
+        if fused(region.ta, region.tb, lo, hi, dlo, dhi):
+            return
         # A falsy return means the leaf declined this region (e.g. a
-        # wrapped home range under a clip/fill boundary) — step it below.
-        return
+        # NumPy snapshot leaf given a wrapped home range under a
+        # clip/fill boundary) — step it below.
     clone = compiled.interior if region.interior else compiled.boundary
     d = len(region.dims)
     lo = [xa for xa, _, _, _ in region.dims]

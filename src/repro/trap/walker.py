@@ -103,12 +103,18 @@ def default_options(
     space_thresholds: Sequence[int] | None = None,
     protect_unit_stride: bool | None = None,
     hyperspace: bool = True,
+    codegen_mode: str | None = None,
 ) -> WalkOptions:
-    """Fill unset knobs with the Section-4 style coarsening heuristics."""
+    """Fill unset knobs with the Section-4 style coarsening heuristics.
+
+    ``codegen_mode`` (the *resolved* backend, not ``"auto"``) selects the
+    coarsening table tuned for the kernel that will run the base cases;
+    explicit thresholds always win over either table.
+    """
     if space_thresholds is None:
-        space_thresholds = default_space_thresholds(ndim, sizes)
+        space_thresholds = default_space_thresholds(ndim, sizes, codegen_mode)
     if dt_threshold is None:
-        dt_threshold = default_dt_threshold(ndim)
+        dt_threshold = default_dt_threshold(ndim, codegen_mode)
     if protect_unit_stride is None:
         protect_unit_stride = ndim >= 3
     st = tuple(int(s) for s in space_thresholds)

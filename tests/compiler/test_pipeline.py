@@ -207,3 +207,43 @@ def test_c_mode_reports_c():
     assert compiled.mode == "c"
     assert compiled.boundary_mode == "c"
     assert "interior_step" in compiled.sources["c"]
+
+
+@pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+def test_c_mode_has_fused_leaves():
+    st, u, k = make_heat_problem((8, 8))
+    compiled = compile_kernel(st.prepare(1, k), "c")
+    assert compiled.leaf is not None
+    assert compiled.leaf_boundary is not None
+    assert "void leaf(" in compiled.sources["c"]
+
+
+@pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+def test_c_mode_python_boundary_keeps_fused_interior():
+    """A PythonBoundary kills the C boundary clones (per-point Python
+    fallback, per-step stepping) but the *interior* leaf must survive:
+    interior regions never consult the boundary."""
+
+    def edge(arr, t, X):
+        return 2.0 * t
+
+    u = PochoirArray("u", (10,)).register_boundary(PythonBoundary(edge))
+    st = Stencil(1)
+    st.register_array(u)
+    k = Kernel(1, lambda t, x: u(t + 1, x) << 0.5 * (u(t, x - 1) + u(t, x + 1)))
+    u.set_initial(np.zeros(10))
+    compiled = compile_kernel(st.prepare(3, k), "c")
+    assert compiled.boundary_mode == "macro_shadow"
+    assert compiled.leaf is not None
+    assert compiled.leaf_boundary is None
+
+
+def test_no_compiler_degrades_to_split_pointer(monkeypatch):
+    """The no-toolchain degradation contract: with REPRO_NO_CC set (the
+    CI no-compiler job leg), "c" drops out of available_modes and the
+    default "auto" mode still compiles — via split_pointer."""
+    monkeypatch.setenv("REPRO_NO_CC", "1")
+    assert "c" not in available_modes()
+    st, u, k = make_heat_problem((8, 8))
+    compiled = compile_kernel(st.prepare(1, k), "auto")
+    assert compiled.mode == "split_pointer"

@@ -1,0 +1,170 @@
+"""Fused C leaf clones vs per-step execution and vs the NumPy backend.
+
+The ``c`` backend's ``leaf``/``leaf_boundary`` clones run a base
+region's whole trapezoid — time loop, slope-shifted bounds, ping-pong
+slot arithmetic, per-point MOD/CLAMP/fill boundary resolution — inside
+one compiled C function invoked once per base case with the GIL
+released.  Fusion must be invisible: for any zoid the fused C clone must
+produce exactly the grid the per-step clones produce, and the whole
+``c`` backend must agree bitwise with ``split_pointer`` on every
+registered app.  Mirrors ``tests/trap/test_leaf_fusion.py``; the zoid
+strategy here fixes the grid sizes so the C property sweep compiles a
+bounded set of shared objects (sizes are codegen-time constants).
+
+Skips cleanly when no C compiler is present.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import available_apps, build
+from repro.compiler.pipeline import compile_kernel
+from repro.trap.executor import run_base_region
+from repro.trap.plan import BaseRegion
+from tests.conftest import has_c_backend, make_heat_problem
+
+pytestmark = pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+
+T_MAX = 8  # time window prepared for region-level tests
+
+#: Fixed grids (one per dimensionality): sizes bake into the generated C
+#: source, so fixing them bounds the number of distinct compilations the
+#: randomized sweep can trigger.
+GRIDS = {1: (9,), 2: (8, 7)}
+
+
+def _fresh_compiled(sizes, boundary):
+    stencil, u, kern = make_heat_problem(sizes, boundary=boundary, seed=11)
+    problem = stencil.prepare(T_MAX, kern)
+    return u, compile_kernel(problem, "c")
+
+
+def _run_region(sizes, boundary, region, fused):
+    u, compiled = _fresh_compiled(sizes, boundary)
+    if not fused:
+        compiled = compiled.without_fused_leaves()
+    run_base_region(region, compiled)
+    return u.data.copy()
+
+
+@st.composite
+def _zoids(draw, interior):
+    """A random valid zoid over one of the fixed grids.
+
+    Boundary zoids may start anywhere in virtual coordinates (straddling
+    or wholly past the periodic seam); interior zoids keep every read of
+    the slope-shifted box in-domain, as the planner guarantees.  Extents
+    are linear in the step, so endpoint checks cover every step.
+    """
+    ndim = draw(st.integers(1, 2))
+    sizes = GRIDS[ndim]
+    ta = draw(st.integers(1, 3))
+    h = draw(st.integers(1, 4))
+    dims = []
+    for n in sizes:
+        for _ in range(40):
+            lo = draw(st.integers(1 if interior else -n, n - 2))
+            width = draw(st.integers(1, n - 2 if interior else n))
+            dlo = draw(st.integers(-1, 1))
+            dhi = draw(st.integers(-1, 1))
+            hi, flo, fhi = lo + width, lo + dlo * (h - 1), lo + width + dhi * (h - 1)
+            if fhi - flo < 0:
+                continue
+            if interior and not (min(lo, flo) >= 1 and max(hi, fhi) <= n - 1):
+                continue
+            if not interior and not (
+                -n <= min(lo, flo) and max(hi, fhi) - min(lo, flo) <= n
+            ):
+                continue
+            dims.append((lo, hi, dlo, dhi))
+            break
+        else:
+            dims.append((1, 2, 0, 0))
+    return sizes, BaseRegion(ta, ta + h, tuple(dims), interior=interior)
+
+
+class TestRandomZoids:
+    @settings(max_examples=30, deadline=None)
+    @given(_zoids(interior=True))
+    def test_interior_leaf_matches_per_step(self, case):
+        sizes, region = case
+        fused = _run_region(sizes, "periodic", region, fused=True)
+        steps = _run_region(sizes, "periodic", region, fused=False)
+        assert np.array_equal(fused, steps)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        _zoids(interior=False),
+        st.sampled_from(["periodic", "neumann", "dirichlet"]),
+    )
+    def test_boundary_leaf_matches_per_step(self, case, boundary):
+        sizes, region = case
+        fused = _run_region(sizes, boundary, region, fused=True)
+        steps = _run_region(sizes, boundary, region, fused=False)
+        assert np.array_equal(fused, steps)
+
+    @pytest.mark.parametrize("boundary", ["periodic", "neumann", "dirichlet"])
+    def test_c_leaf_runs_wrapped_home_range(self, boundary):
+        """Unlike the NumPy snapshot leaf (which declines clip/fill
+        regions whose home range leaves the domain), the C leaf resolves
+        boundaries per point and must *run* — and match per-step — on a
+        seam-straddling region under every boundary kind."""
+        region = BaseRegion(1, 3, ((-2, 3, 0, 0),), interior=False)
+        u, compiled = _fresh_compiled((8,), boundary)
+        assert compiled.leaf_boundary(
+            region.ta, region.tb, (-2,), (3,), (0,), (0,)
+        ), f"C leaf declined a wrapped home range under {boundary}"
+        fused = _run_region((8,), boundary, region, fused=True)
+        steps = _run_region((8,), boundary, region, fused=False)
+        assert np.array_equal(fused, steps)
+
+
+class TestCrossBackend:
+    """The C backend against split_pointer, end to end."""
+
+    @pytest.mark.parametrize("boundary", ["periodic", "neumann", "dirichlet"])
+    def test_heat_boundary_kinds_match_split_pointer(self, boundary):
+        sizes, T = (13, 11), 6
+        st_c, u_c, k_c = make_heat_problem(sizes, boundary=boundary, seed=5)
+        st_c.run(T, k_c, mode="c", dt_threshold=2, space_thresholds=(5, 5))
+        st_n, u_n, k_n = make_heat_problem(sizes, boundary=boundary, seed=5)
+        st_n.run(T, k_n, mode="split_pointer", dt_threshold=2,
+                 space_thresholds=(5, 5))
+        assert np.array_equal(
+            u_c.snapshot(st_c.cursor), u_n.snapshot(st_n.cursor)
+        ), f"c diverged from split_pointer under {boundary}"
+
+
+EXECUTORS = ("serial", "threads", "dag")
+
+
+@pytest.mark.parametrize("name", available_apps())
+def test_all_apps_c_fused_equals_per_step_and_numpy(name):
+    """Every registered app: the fused C backend must reproduce both the
+    per-step C path and the split_pointer backend bit for bit, under
+    every executor."""
+    ref_app = build(name, "tiny")
+    ref_app.run(dt_threshold=2, mode="c", fuse_leaves=False)
+    ref = ref_app.result()
+
+    np_app = build(name, "tiny")
+    np_app.run(dt_threshold=2, mode="split_pointer")
+    assert np.array_equal(np_app.result(), ref), (
+        f"{name}: split_pointer diverged from the per-step C path"
+    )
+
+    for executor in EXECUTORS:
+        app = build(name, "tiny")
+        app.run(
+            executor=executor,
+            mode="c",
+            n_workers=None if executor == "serial" else 3,
+            dt_threshold=2,
+        )
+        assert np.array_equal(app.result(), ref), (
+            f"{name}: fused C leaves under {executor!r} diverged from the "
+            f"per-step C path"
+        )
