@@ -1,36 +1,79 @@
-"""ISAT-style autotuning of the base-case coarsening (Section 4).
+"""ISAT-style autotuning of the base-case coarsening and dispatch space.
 
 The paper: "Since choosing the optimal size of the base case can be
 difficult, we integrated the ISAT autotuner into Pochoir … this autotuning
 process can take hours", hence the shipped heuristics.  This module
-reproduces the autotuner's role at laptop scale: a coordinate-descent
-search over the (space threshold, time threshold) grid, each candidate
-evaluated by timing a real TRAP run of a small representative problem.
+reproduces the autotuner's role at laptop scale with two searches:
 
-The search space is logarithmic (powers of two around the heuristic
-default), so a tune costs tens of runs, not hours.
+* :func:`tune_coarsening` — the original coordinate descent over the
+  (space threshold, time threshold) grid, each candidate evaluated by
+  timing a real TRAP run of a small representative problem.
+* :func:`tune_dispatch` — the same descent extended to the *full*
+  dispatch space: per-dimension space thresholds, the dt threshold, the
+  codegen mode, leaf fusion, and the worker count.  Its result is a
+  :class:`~repro.autotune.registry.TunedConfig`, ready to persist in the
+  on-disk registry that ``Stencil.run`` consults.
+
+Both searches memoize evaluated points (coordinate descent revisits the
+incumbent on every sweep; re-timing it would waste most of the budget),
+so a tune costs tens of runs, not hours.  :func:`tune_problem` is the
+driver-level glue for ``RunOptions(autotune="tune-on-miss")``: it tunes
+on *cloned* arrays so the user's grids are untouched.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
+from repro.autotune.registry import TunedConfig
 from repro.errors import AutotuneError
 from repro.language.kernel import Kernel
-from repro.language.stencil import RunOptions, Stencil
+from repro.language.stencil import Problem, RunOptions, Stencil
+
+
+class _Memo:
+    """Evaluation cache shared by both searches.
+
+    ``visits`` counts every requested evaluation, ``unique`` only the
+    ones actually run; the gap is what memoization saved (asserted by
+    the unit tests — the incumbent is revisited on every sweep).
+    """
+
+    def __init__(self, run: Callable[[tuple], float]):
+        self._run = run
+        self._timings: dict[tuple, float] = {}
+        self.visits = 0
+
+    def __call__(self, key: tuple) -> float:
+        self.visits += 1
+        t = self._timings.get(key)
+        if t is None:
+            t = self._run(key)
+            self._timings[key] = t
+        return t
+
+    @property
+    def unique(self) -> int:
+        return len(self._timings)
 
 
 @dataclass
 class CoarseningResult:
-    """Outcome of a coarsening tune."""
+    """Outcome of a coarsening tune.
+
+    ``evaluations`` counts distinct configurations actually timed;
+    ``visits`` counts all evaluation requests (the surplus was served
+    from the memo, not re-run).
+    """
 
     space_threshold: int
     dt_threshold: int
     best_time: float
     evaluations: int
     history: list[tuple[int, int, float]]
+    visits: int = 0
 
     def as_options(self, ndim: int, protect_unit_stride: bool | None = None):
         """WalkOptions-style kwargs for Stencil.run."""
@@ -56,18 +99,16 @@ def tune_coarsening(
     ``make_problem`` must return a *fresh* (stencil, kernel) pair per call
     (runs mutate array state).  Starts from the middle of each candidate
     list and alternates sweeps over the two axes until a sweep makes no
-    improvement.
+    improvement.  Already-timed points (the incumbent, every sweep) are
+    served from the memo, never re-run.
     """
     if not space_candidates or not dt_candidates:
         raise AutotuneError("candidate lists must be non-empty")
 
-    timings: dict[tuple[int, int], float] = {}
     history: list[tuple[int, int, float]] = []
 
-    def evaluate(space: int, dt: int) -> float:
-        key = (space, dt)
-        if key in timings:
-            return timings[key]
+    def run_point(key: tuple) -> float:
+        space, dt = key
         best = float("inf")
         for _ in range(repeats):
             stencil, kernel = make_problem()
@@ -82,22 +123,22 @@ def tune_coarsening(
             t0 = time.perf_counter()
             stencil.run(steps, kernel, opts)
             best = min(best, time.perf_counter() - t0)
-        timings[key] = best
         history.append((space, dt, best))
         return best
 
+    evaluate = _Memo(run_point)
     space = space_candidates[len(space_candidates) // 2]
     dt = dt_candidates[len(dt_candidates) // 2]
-    best_time = evaluate(space, dt)
+    best_time = evaluate((space, dt))
 
     for _ in range(max_sweeps):
         improved = False
         for cand in space_candidates:
-            t = evaluate(cand, dt)
+            t = evaluate((cand, dt))
             if t < best_time:
                 best_time, space, improved = t, cand, True
         for cand in dt_candidates:
-            t = evaluate(space, cand)
+            t = evaluate((space, cand))
             if t < best_time:
                 best_time, dt, improved = t, cand, True
         if not improved:
@@ -107,6 +148,265 @@ def tune_coarsening(
         space_threshold=space,
         dt_threshold=dt,
         best_time=best_time,
-        evaluations=len(timings),
+        evaluations=evaluate.unique,
         history=history,
+        visits=evaluate.visits,
+    )
+
+
+# -- the full dispatch space ---------------------------------------------------
+
+
+@dataclass
+class DispatchResult:
+    """Outcome of a full dispatch-space tune.
+
+    ``config`` is directly storable in the registry; ``history`` pairs
+    each *timed* configuration with its wall time, in evaluation order.
+    """
+
+    config: TunedConfig
+    best_time: float
+    evaluations: int
+    visits: int
+    history: list[tuple[TunedConfig, float]]
+
+
+def _geometric_candidates(center: int, *, floor: int = 1) -> tuple[int, ...]:
+    """A log grid around a heuristic default: {c/2, c, 2c} clamped."""
+    return tuple(sorted({max(floor, center // 2), center, center * 2}))
+
+
+def _descent(
+    evaluate: _Memo,
+    start: dict,
+    axes: list[tuple[str, Sequence]],
+    max_sweeps: int,
+) -> tuple[dict, float]:
+    """Generic coordinate descent: sweep each axis, keep improvements,
+    stop when a full sweep changes nothing.  ``start`` is always
+    evaluated first, so the heuristic default can never lose to noise
+    without being measured."""
+    config = dict(start)
+
+    def key(cfg: dict) -> tuple:
+        return tuple(cfg[name] for name, _ in axes)
+
+    best_time = evaluate(key(config))
+    for _ in range(max_sweeps):
+        improved = False
+        for name, candidates in axes:
+            for cand in candidates:
+                trial = {**config, name: cand}
+                t = evaluate(key(trial))
+                if t < best_time:
+                    best_time, config, improved = t, trial, True
+        if not improved:
+            break
+    return config, best_time
+
+
+def tune_dispatch(
+    make_problem: Callable[[], tuple[Stencil, Kernel]],
+    steps: int,
+    *,
+    modes: Sequence[str] | None = None,
+    space_candidates: Sequence[int] | None = None,
+    dt_candidates: Sequence[int] | None = None,
+    fuse_candidates: Sequence[bool] = (True, False),
+    worker_candidates: Sequence[int | None] | None = None,
+    repeats: int = 1,
+    max_sweeps: int = 2,
+    algorithm: str = "trap",
+) -> DispatchResult:
+    """Coordinate descent over the full dispatch space.
+
+    Axes: codegen mode, each dimension's space threshold (independently —
+    unlike :func:`tune_coarsening`'s single shared threshold), the dt
+    threshold, ``fuse_leaves``, and ``n_workers``.  Defaults derive from
+    the backend-aware heuristics (a log grid around each default), and
+    the descent *starts at* the heuristic configuration, so the tuned
+    result can only match or beat it on the tuning workload.
+    ``algorithm`` selects the walk algorithm every candidate is timed
+    under — a config destined for STRAP runs must be tuned by timing
+    STRAP, not TRAP.
+    """
+    from repro.compiler.pipeline import available_modes, resolve_mode
+    from repro.trap.coarsening import (
+        default_dt_threshold,
+        default_space_thresholds,
+    )
+
+    probe_stencil, _ = make_problem()
+    ndim = probe_stencil.ndim
+    sizes = probe_stencil.sizes
+
+    if modes is None:
+        modes = tuple(m for m in available_modes() if m != "auto" and m != "interp")
+    if not modes:
+        raise AutotuneError("no codegen modes to tune over")
+    start_mode = resolve_mode("auto") if resolve_mode("auto") in modes else modes[0]
+
+    default_space = default_space_thresholds(ndim, sizes, start_mode)
+    default_dt = default_dt_threshold(ndim, start_mode)
+    if dt_candidates is None:
+        dt_candidates = _geometric_candidates(default_dt)
+
+    axes: list[tuple[str, Sequence]] = [("mode", tuple(modes))]
+    start: dict = {"mode": start_mode}
+    for i in range(ndim):
+        cands = (
+            tuple(space_candidates)
+            if space_candidates is not None
+            else _geometric_candidates(default_space[i], floor=2)
+        )
+        axes.append((f"space{i}", cands))
+        start[f"space{i}"] = (
+            default_space[i] if default_space[i] in cands else cands[len(cands) // 2]
+        )
+    axes.append(("dt", tuple(dt_candidates)))
+    start["dt"] = default_dt if default_dt in dt_candidates else dt_candidates[0]
+    axes.append(("fuse", tuple(fuse_candidates)))
+    start["fuse"] = fuse_candidates[0]
+    if worker_candidates is None:
+        import os
+
+        cpus = os.cpu_count() or 1
+        worker_candidates = tuple(sorted({1, min(4, cpus), cpus}))
+    axes.append(("workers", tuple(worker_candidates)))
+    start["workers"] = worker_candidates[0]
+
+    history: list[tuple[TunedConfig, float]] = []
+
+    def config_of(key: tuple) -> TunedConfig:
+        cfg = dict(zip((name for name, _ in axes), key))
+        return TunedConfig(
+            space_thresholds=tuple(cfg[f"space{i}"] for i in range(ndim)),
+            dt_threshold=cfg["dt"],
+            mode=cfg["mode"],
+            fuse_leaves=cfg["fuse"],
+            n_workers=cfg["workers"],
+        )
+
+    def run_point(key: tuple) -> float:
+        config = config_of(key)
+        best = float("inf")
+        for _ in range(repeats):
+            stencil, kernel = make_problem()
+            opts = RunOptions(
+                algorithm=algorithm,
+                mode=config.mode,
+                space_thresholds=config.space_thresholds,
+                dt_threshold=config.dt_threshold,
+                fuse_leaves=config.fuse_leaves,
+                n_workers=config.n_workers,
+                collect_stats=False,
+                autotune="off",
+            )
+            t0 = time.perf_counter()
+            stencil.run(steps, kernel, opts)
+            best = min(best, time.perf_counter() - t0)
+        history.append((config, best))
+        return best
+
+    evaluate = _Memo(run_point)
+    best_cfg, best_time = _descent(evaluate, start, axes, max_sweeps)
+    key = tuple(best_cfg[name] for name, _ in axes)
+    config = replace(
+        config_of(key),
+        best_time=best_time,
+        evaluations=evaluate.unique,
+        tuned_unix_time=time.time(),
+    )
+    return DispatchResult(
+        config=config,
+        best_time=best_time,
+        evaluations=evaluate.unique,
+        visits=evaluate.visits,
+        history=history,
+    )
+
+
+# -- driver-level tune-on-miss glue -------------------------------------------
+
+
+def _clone_arrays(problem: Problem) -> dict:
+    """Fresh PochoirArrays mirroring the problem's (data copied, same
+    boundaries); the tuning runs mutate only these."""
+    from repro.language.array import PochoirArray
+
+    clones = {}
+    for name, arr in problem.arrays.items():
+        clone = PochoirArray(
+            name, arr.sizes, depth=arr.depth, dtype=arr.data.dtype
+        )
+        if arr.boundary is not None:
+            clone.register_boundary(arr.boundary)
+        clone.data[...] = arr.data
+        clone._latest = arr._latest
+        clones[name] = clone
+    return clones
+
+
+def tune_problem(
+    problem: Problem,
+    *,
+    backend: str = "auto",
+    algorithm: str = "trap",
+    steps: int | None = None,
+    max_sweeps: int = 1,
+    repeats: int = 1,
+) -> DispatchResult:
+    """Tune the dispatch space for an already-prepared Problem.
+
+    This is what ``autotune="tune-on-miss"`` runs inside the driver: the
+    user's arrays are cloned once and restored before every candidate
+    run, so tuning is invisible to the caller's state.  The candidate
+    grid is deliberately modest (a log grid around the heuristics, one
+    sweep) — a registry miss costs tens of short runs, once, and every
+    later run in any process hits the stored entry.
+    """
+    from repro.compiler.pipeline import available_modes, resolve_mode
+    from repro.trap.driver import execute_problem
+
+    clones = _clone_arrays(problem)
+    saved = {name: arr.data.copy() for name, arr in clones.items()}
+    saved_latest = {name: arr._latest for name, arr in clones.items()}
+    tune_steps = steps if steps is not None else min(problem.steps, 24)
+    tune_steps = max(1, tune_steps)
+    tuning_problem = replace(
+        problem,
+        arrays=clones,
+        t_end=problem.t_start + tune_steps,
+    )
+
+    if backend == "auto":
+        modes = tuple(
+            m for m in available_modes() if m not in ("auto", "interp", "macro_shadow")
+        )
+    else:
+        modes = (resolve_mode(backend),)
+
+    class _ProblemRunner:
+        """Adapts the cloned Problem to tune_dispatch's (stencil, kernel)
+        protocol: ``run`` restores the cloned buffers and times
+        ``execute_problem`` directly."""
+
+        ndim = problem.ndim
+        sizes = problem.sizes
+
+        def run(self, _steps: int, _kernel, options: RunOptions):
+            for name, arr in clones.items():
+                arr.data[...] = saved[name]
+                arr._latest = saved_latest[name]
+            return execute_problem(tuning_problem, options)
+
+    runner = _ProblemRunner()
+    return tune_dispatch(
+        lambda: (runner, None),
+        tune_steps,
+        modes=modes,
+        max_sweeps=max_sweeps,
+        repeats=repeats,
+        algorithm=algorithm,
     )

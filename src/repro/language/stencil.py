@@ -64,6 +64,21 @@ class RunOptions:
         per-step clone invocation — the ablation knob the leaf-fusion
         and C-backend benchmarks and the equivalence tests use.  Modes
         without a leaf clone (``interp``, ``macro_shadow``) ignore it.
+    ``autotune``:
+        the persistent tuned-config registry
+        (:mod:`repro.autotune.registry`).  ``"off"`` (default) never
+        consults it; ``"use"`` applies a stored configuration for this
+        (stencil, backend, machine) when one exists, falling back to
+        the heuristics on a miss; ``"tune-on-miss"`` additionally runs
+        a short dispatch-space tune on a miss (against *cloned* arrays
+        — user state is untouched), stores the result, and applies it.
+        Tuned values fill only knobs left at their defaults: explicit
+        ``space_thresholds``/``dt_threshold``/``mode``/``n_workers``
+        always win, and ``fuse_leaves=False`` (the ablation setting) is
+        never overridden.  ``RunReport.autotune_source`` records which
+        source won.  Registry damage of any kind degrades silently to
+        the heuristics — no exception from the registry reaches
+        ``run``.
     """
 
     algorithm: str = "trap"
@@ -75,6 +90,7 @@ class RunOptions:
     n_workers: int | None = None
     collect_stats: bool = True
     fuse_leaves: bool = True
+    autotune: str = "off"
 
     def __post_init__(self) -> None:
         algorithms = ("trap", "strap", "loops", "serial_loops", "phase1")
@@ -95,6 +111,12 @@ class RunOptions:
         if self.n_workers is not None and self.n_workers < 1:
             raise SpecificationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        autotune = ("off", "use", "tune-on-miss")
+        if self.autotune not in autotune:
+            raise SpecificationError(
+                f"unknown autotune policy {self.autotune!r}; "
+                f"choose from {autotune}"
             )
 
     def resolve_executor(self) -> tuple[str, int]:
@@ -131,6 +153,12 @@ class RunReport:
     inside base-case kernels, so ``idle_fraction`` measures the
     scheduling overhead (barrier stalls, ready-queue contention,
     plan construction).
+
+    ``autotune_source`` records which configuration source won the
+    dispatch knobs: ``"heuristic"`` (backend-aware defaults),
+    ``"explicit"`` (caller-supplied thresholds), ``"registry"`` (a
+    stored tuned config was applied), or ``"tuned"`` (tuned this run
+    under ``autotune="tune-on-miss"`` and stored for the next process).
     """
 
     algorithm: str
@@ -145,6 +173,7 @@ class RunReport:
     executor: str = "serial"
     n_workers: int = 1
     busy_time: float = 0.0
+    autotune_source: str = "heuristic"
 
     @property
     def points_per_second(self) -> float:

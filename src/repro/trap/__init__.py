@@ -42,7 +42,14 @@ from repro.trap.plan import (
 )
 from repro.trap.graph import TaskGraph, TaskGraphBuilder, build_task_graph
 from repro.trap.loops import run_loops
-from repro.trap.executor import execute_dag, execute_plan, get_pool, shutdown_pool
+from repro.trap.executor import (
+    acquire_pool,
+    execute_dag,
+    execute_plan,
+    get_pool,
+    release_pool,
+    shutdown_pool,
+)
 from repro.trap.driver import execute_problem
 
 __all__ = [
@@ -54,6 +61,7 @@ __all__ = [
     "WalkOptions",
     "WalkSpec",
     "Zoid",
+    "acquire_pool",
     "build_task_graph",
     "choose_cut",
     "decompose",
@@ -69,6 +77,7 @@ __all__ = [
     "plan_events",
     "plan_from_events",
     "plan_stats",
+    "release_pool",
     "run_loops",
     "shutdown_pool",
     "walk_spec_for",

@@ -13,11 +13,22 @@ Executor dispatch (``RunOptions.resolve_executor``):
 * ``"dag"`` — folds the event stream into a dependency-counted
   :class:`~repro.trap.graph.TaskGraph` (still no tree) and runs the
   ready-queue executor.
+
+It also owns the autotune-registry integration
+(``RunOptions.autotune``): before compiling, a ``"use"`` or
+``"tune-on-miss"`` run looks up the persistent tuned-config registry
+(:mod:`repro.autotune.registry`) under (problem signature, requested
+mode, machine fingerprint) and folds a hit into the options —
+caller-explicit knobs always win, and every registry failure degrades
+silently to the heuristics.  ``"tune-on-miss"`` runs the dispatch-space
+search (:func:`repro.autotune.isat.tune_problem`, against cloned
+arrays) and stores the winner for every later process on this machine.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 
 from repro.errors import SpecificationError
 from repro.language.stencil import Problem, RunOptions, RunReport
@@ -79,6 +90,91 @@ def build_events(problem: Problem, options: RunOptions):
     return decompose_events(top, spec, opts)
 
 
+def _apply_tuned(problem: Problem, options: RunOptions, tuned) -> RunOptions:
+    """Fold a registry TunedConfig into the options.
+
+    Only knobs still at their defaults are filled: explicit
+    ``space_thresholds``/``dt_threshold``/``mode``/``n_workers`` win
+    over the tuned values, and ``fuse_leaves=False`` (the ablation
+    setting) is never overridden.  Threshold merging (including the
+    grid clamp) lives in :func:`repro.trap.coarsening.tuned_thresholds`
+    so the walker and the registry agree on the final geometry.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.compiler.pipeline import available_modes
+    from repro.trap.coarsening import tuned_thresholds
+
+    space, dt = tuned_thresholds(
+        problem.ndim, problem.sizes, tuned, codegen_mode=None
+    )
+    updates: dict = {}
+    if options.space_thresholds is None:
+        updates["space_thresholds"] = space
+    if options.dt_threshold is None:
+        updates["dt_threshold"] = dt
+    if (
+        options.mode == "auto"
+        and tuned.mode != "auto"
+        and tuned.mode in available_modes()
+    ):
+        updates["mode"] = tuned.mode
+    if options.n_workers is None and tuned.n_workers is not None:
+        updates["n_workers"] = tuned.n_workers
+    if options.fuse_leaves and not tuned.fuse_leaves:
+        updates["fuse_leaves"] = False
+    return _replace(options, **updates) if updates else options
+
+
+def _consult_registry(
+    problem: Problem, options: RunOptions
+) -> tuple[RunOptions, str]:
+    """Resolve the autotune policy: (effective options, winning source).
+
+    Never raises: a broken registry, a failed tune, or a failed store
+    all degrade to the heuristic/explicit configuration the run would
+    have used with ``autotune="off"``.
+    """
+    explicit = (
+        options.space_thresholds is not None or options.dt_threshold is not None
+    )
+    source = "explicit" if explicit else "heuristic"
+    if options.autotune == "off" or options.algorithm not in ("trap", "strap"):
+        return options, source
+    try:
+        from repro.autotune import registry
+
+        # TRAP (the default algorithm) keys on the bare mode; other
+        # walk algorithms get their own entries — their optima differ,
+        # and a config tuned by timing TRAP must never serve STRAP.
+        backend_key = (
+            options.mode
+            if options.algorithm == "trap"
+            else f"{options.algorithm}:{options.mode}"
+        )
+        tuned = registry.lookup(problem, backend_key)
+        if tuned is not None:
+            applied = _apply_tuned(problem, options, tuned)
+            return applied, "registry" if applied is not options else source
+        if options.autotune == "tune-on-miss":
+            from repro.autotune.isat import tune_problem
+
+            result = tune_problem(
+                problem, backend=options.mode, algorithm=options.algorithm
+            )
+            registry.store(problem, backend_key, result.config)
+            applied = _apply_tuned(problem, options, result.config)
+            return applied, "tuned" if applied is not options else source
+    except Exception as exc:  # pragma: no cover - defensive: see docstring
+        warnings.warn(
+            f"autotune registry unavailable ({exc!r}); "
+            f"falling back to heuristics",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return options, source
+
+
 def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
     """Compile, decompose (or loop), execute; return the run report."""
     from repro.compiler.pipeline import compile_kernel
@@ -91,6 +187,7 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
     )
     if problem.steps == 0:
         return report
+    options, report.autotune_source = _consult_registry(problem, options)
 
     compiled = compile_kernel(problem, options.mode)
     report.mode = compiled.mode

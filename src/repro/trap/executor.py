@@ -73,35 +73,84 @@ def default_workers(n_workers: int | None) -> int:
 _pool_lock = threading.Lock()
 _pool: ThreadPoolExecutor | None = None
 _pool_size = 0
-#: Outgrown pools, kept alive (not shut down) until shutdown_pool():
-#: a concurrent run may still hold one and submit to it; shutting it
-#: down under that run would raise "cannot schedule new futures after
-#: shutdown" mid-flight.  The cost is that each retired pool's idle
-#: threads persist until shutdown_pool()/interpreter exit — bounded by
-#: the number of one-time growth events (an ascending 2,4,8,16 sweep
-#: strands 14 idle threads, worst case), accepted as the price of
-#: nested- and concurrent-run safety.
+#: Outgrown pools still leased by an in-flight run: shutting one down
+#: under that run would raise "cannot schedule new futures after
+#: shutdown" mid-flight.  Each entry is dropped — and the pool shut
+#: down — the moment its last lease is released (see
+#: :func:`release_pool`); a retired pool with no leases never enters
+#: the list at all, so this no longer grows across pool regrowths.
 _retired_pools: list[ThreadPoolExecutor] = []
+#: pool -> number of executors currently using it (the lease window
+#: spans acquire_pool .. release_pool, covering every submit).
+_pool_leases: dict[ThreadPoolExecutor, int] = {}
+#: Pools handed out via bare :func:`get_pool` (no lease, so no signal
+#: for when the caller is done).  These keep the old conservative
+#: never-shutdown-until-shutdown_pool guarantee; only pools used purely
+#: through the lease API are eligible for drain-time shutdown.
+_bare_pools: set[ThreadPoolExecutor] = set()
+
+
+def _get_pool_locked(n_workers: int) -> ThreadPoolExecutor:
+    """Grow/return the shared pool; caller holds ``_pool_lock``."""
+    global _pool, _pool_size
+    if _pool is None or _pool_size < n_workers:
+        if _pool is not None:
+            if _pool_leases.get(_pool, 0) > 0 or _pool in _bare_pools:
+                _retired_pools.append(_pool)
+            else:
+                _pool.shutdown(wait=False)
+        _pool = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="repro-worker"
+        )
+        _pool_size = n_workers
+    return _pool
 
 
 def get_pool(n_workers: int) -> ThreadPoolExecutor:
     """The process-wide worker pool, grown to at least ``n_workers``.
 
     Hoisted out of the executors so repeated runs reuse threads instead
-    of paying pool construction per call.
+    of paying pool construction per call.  A pool returned here is never
+    shut down before :func:`shutdown_pool` (there is no signal for when
+    a bare caller is done with it), so the executors use
+    :func:`acquire_pool`/:func:`release_pool` instead — the lease tells
+    the retirement logic exactly when an outgrown pool has drained.
     """
-    global _pool, _pool_size
     if n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
     with _pool_lock:
-        if _pool is None or _pool_size < n_workers:
-            if _pool is not None:
-                _retired_pools.append(_pool)
-            _pool = ThreadPoolExecutor(
-                max_workers=n_workers, thread_name_prefix="repro-worker"
-            )
-            _pool_size = n_workers
-        return _pool
+        pool = _get_pool_locked(n_workers)
+        _bare_pools.add(pool)
+        return pool
+
+
+def acquire_pool(n_workers: int) -> ThreadPoolExecutor:
+    """``get_pool`` plus a lease: the pool cannot be shut down (even if
+    a concurrent run outgrows it) until the matching
+    :func:`release_pool`."""
+    if n_workers < 1:
+        raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
+    with _pool_lock:
+        pool = _get_pool_locked(n_workers)
+        _pool_leases[pool] = _pool_leases.get(pool, 0) + 1
+        return pool
+
+
+def release_pool(pool: ThreadPoolExecutor) -> None:
+    """Release a lease; the last release of a *retired* pool shuts it
+    down and drops it, so outgrown pools stop holding threads the
+    moment their in-flight work drains.  A pool some caller also holds
+    bare (via :func:`get_pool`) is exempt — it waits for
+    :func:`shutdown_pool` like it always did."""
+    with _pool_lock:
+        remaining = _pool_leases.get(pool, 0) - 1
+        if remaining > 0:
+            _pool_leases[pool] = remaining
+            return
+        _pool_leases.pop(pool, None)
+        if pool in _retired_pools and pool not in _bare_pools:
+            _retired_pools.remove(pool)
+            pool.shutdown(wait=False)
 
 
 def shutdown_pool() -> None:
@@ -111,6 +160,8 @@ def shutdown_pool() -> None:
         for old in _retired_pools:
             old.shutdown(wait=True)
         _retired_pools.clear()
+        _pool_leases.clear()
+        _bare_pools.clear()
         if _pool is not None:
             _pool.shutdown(wait=True)
         _pool = None
@@ -310,7 +361,7 @@ def execute_waves(
     # is effectively serial — report one worker, like execute_dag does.
     widest = max((len(w) for w in waves), default=1)
     eff_workers = 1 if (_in_worker_thread() or widest <= 1) else n_workers
-    pool = get_pool(n_workers) if eff_workers > 1 else None
+    pool = acquire_pool(n_workers) if eff_workers > 1 else None
 
     def timed(region: BaseRegion) -> float:
         t0 = time.perf_counter()
@@ -318,14 +369,18 @@ def execute_waves(
         return time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    for wave in waves:
-        count += len(wave)
-        if pool is None:
-            busy += sum(timed(region) for region in wave)
-        else:
-            busy += run_bounded(
-                pool, [partial(timed, region) for region in wave], n_workers
-            )
+    try:
+        for wave in waves:
+            count += len(wave)
+            if pool is None:
+                busy += sum(timed(region) for region in wave)
+            else:
+                busy += run_bounded(
+                    pool, [partial(timed, region) for region in wave], n_workers
+                )
+    finally:
+        if pool is not None:
+            release_pool(pool)
     wall = time.perf_counter() - t0
     return ExecStats(
         executor="threads",
@@ -433,9 +488,12 @@ def execute_dag(
                 cond.notify_all()
             raise
 
-    pool = get_pool(n_workers)
+    pool = acquire_pool(n_workers)
     t0 = time.perf_counter()
-    busy = sum(join_all([pool.submit(worker) for _ in range(n_workers)]))
+    try:
+        busy = sum(join_all([pool.submit(worker) for _ in range(n_workers)]))
+    finally:
+        release_pool(pool)
     wall = time.perf_counter() - t0
     if state["error"] is not None:
         raise state["error"]

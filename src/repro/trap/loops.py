@@ -20,7 +20,12 @@ from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.language.stencil import Problem
-from repro.trap.executor import default_workers, get_pool, run_bounded
+from repro.trap.executor import (
+    acquire_pool,
+    default_workers,
+    release_pool,
+    run_bounded,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.pipeline import CompiledKernel
@@ -137,20 +142,23 @@ def run_loops(
         shells = _shell_boxes(sizes, lo, hi) if has_interior else [
             ((0,) * d, sizes)
         ]
-        pool = get_pool(workers)  # shared, reused across runs
+        pool = acquire_pool(workers)  # shared, reused across runs
         busy = 0.0
-        for t in range(problem.t_start, problem.t_end):
-            busy += run_bounded(
-                pool,
-                [
-                    partial(timed, compiled.interior, t, c_lo, c_hi)
-                    for c_lo, c_hi in chunks
-                ],
-                workers,
-            )
-            for s_lo, s_hi in shells:
-                busy += timed(compiled.boundary, t, s_lo, s_hi)
-            count += len(chunks) + len(shells)
+        try:
+            for t in range(problem.t_start, problem.t_end):
+                busy += run_bounded(
+                    pool,
+                    [
+                        partial(timed, compiled.interior, t, c_lo, c_hi)
+                        for c_lo, c_hi in chunks
+                    ],
+                    workers,
+                )
+                for s_lo, s_hi in shells:
+                    busy += timed(compiled.boundary, t, s_lo, s_hi)
+                count += len(chunks) + len(shells)
+        finally:
+            release_pool(pool)
         return count, busy
 
     shells = _shell_boxes(sizes, lo, hi) if has_interior else [((0,) * d, sizes)]

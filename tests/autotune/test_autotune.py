@@ -1,9 +1,9 @@
-"""Tests for the ISAT-style coarsening tuner and the Berkeley comparator."""
+"""Tests for the ISAT-style tuners and the Berkeley comparator."""
 
 import numpy as np
 import pytest
 
-from repro.autotune import tune_blocked_loops, tune_coarsening
+from repro.autotune import tune_blocked_loops, tune_coarsening, tune_dispatch
 from repro.autotune.berkeley import run_blocked_loops
 from repro.errors import AutotuneError
 from tests.conftest import make_heat_problem, run_reference
@@ -48,6 +48,79 @@ class TestCoarseningTuner:
         st_, u, k = make_heat_problem((48, 48))
         st_.run(4, k, **opts)  # tuned thresholds are directly runnable
         assert st_.cursor == 4
+
+    def test_memoization_skips_revisited_points(self):
+        """Coordinate descent revisits the incumbent on every sweep; the
+        memo must serve those repeats, so the distinct-evaluation count
+        drops below the visit count and each distinct point is timed
+        exactly ``repeats`` times (one make_problem call per repeat)."""
+        calls = {"n": 0}
+        base = _maker()
+
+        def counted():
+            calls["n"] += 1
+            return base()
+
+        result = tune_coarsening(
+            counted, 4,
+            space_candidates=(8, 16, 32), dt_candidates=(2, 4), repeats=1,
+            max_sweeps=3,
+        )
+        assert result.visits > result.evaluations  # repeats were requested…
+        assert calls["n"] == result.evaluations  # …but never re-run
+        assert result.evaluations == len(result.history)
+
+
+class TestDispatchTuner:
+    def test_covers_full_dispatch_space(self):
+        result = tune_dispatch(
+            _maker((32, 32)), 4,
+            modes=("split_pointer",),
+            space_candidates=(8, 16),
+            dt_candidates=(2, 4),
+            worker_candidates=(1, 2),
+            max_sweeps=1,
+        )
+        cfg = result.config
+        assert cfg.space_thresholds[0] in (8, 16)
+        assert cfg.space_thresholds[1] in (8, 16)
+        assert cfg.dt_threshold in (2, 4)
+        assert cfg.mode == "split_pointer"
+        assert cfg.fuse_leaves in (True, False)
+        assert cfg.n_workers in (1, 2)
+        assert cfg.best_time == result.best_time > 0
+        assert result.visits > result.evaluations  # memo served the sweeps
+        assert result.evaluations == len(result.history)
+        assert cfg.tuned_unix_time > 0
+
+    def test_per_dimension_thresholds_tuned_independently(self):
+        # An asymmetric candidate list can land different thresholds per
+        # dimension — the config records one entry per dimension.
+        result = tune_dispatch(
+            _maker((32, 32)), 4,
+            modes=("split_pointer",),
+            space_candidates=(8, 32),
+            dt_candidates=(4,),
+            worker_candidates=(1,),
+            fuse_candidates=(True,),
+            max_sweeps=1,
+        )
+        assert len(result.config.space_thresholds) == 2
+
+    def test_best_time_is_minimum_of_history(self):
+        result = tune_dispatch(
+            _maker((32, 32)), 4,
+            modes=("split_pointer",),
+            space_candidates=(8, 16),
+            dt_candidates=(2,),
+            worker_candidates=(1,),
+            max_sweeps=1,
+        )
+        assert result.best_time == min(t for _, t in result.history)
+
+    def test_no_modes_rejected(self):
+        with pytest.raises(AutotuneError):
+            tune_dispatch(_maker(), 4, modes=())
 
 
 class TestBerkeleyComparator:

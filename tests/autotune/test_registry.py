@@ -1,0 +1,358 @@
+"""The persistent tuned-config registry: correctness and robustness.
+
+Two properties anchor this suite:
+
+* **Equivalence** — a tuned config only moves *dispatch* knobs
+  (thresholds, mode, fusion, workers), never semantics, so a run under
+  any valid tuned config must be bitwise identical to the
+  heuristic-default run.  Randomized configs (seeded RNG) sweep every
+  registered app, every executor, and every concrete backend.
+* **Robustness** — corrupt JSON, a schema-version bump, and a
+  machine-fingerprint mismatch each degrade to the heuristics; no
+  exception from the registry ever reaches ``Stencil.run``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.apps import available_apps, build
+from repro.autotune import registry
+from repro.autotune.registry import SCHEMA_VERSION, TunedConfig
+from tests.conftest import ALL_MODES, make_heat_problem
+
+pytestmark = pytest.mark.usefixtures("isolated_registry")
+
+
+@pytest.fixture
+def isolated_registry(tmp_path, monkeypatch):
+    """Every test gets a private registry file."""
+    path = tmp_path / "registry.json"
+    monkeypatch.setenv("REPRO_TUNE_REGISTRY", str(path))
+    return path
+
+
+def _heat_problem(sizes=(32, 32), steps=6):
+    st, u, k = make_heat_problem(sizes)
+    return st, u, k, st.prepare(steps, k)
+
+
+def _random_config(rng, ndim, *, modes=("auto",)) -> TunedConfig:
+    return TunedConfig(
+        space_thresholds=tuple(int(rng.integers(3, 20)) for _ in range(ndim)),
+        dt_threshold=int(rng.integers(1, 6)),
+        mode=str(rng.choice(list(modes))),
+        fuse_leaves=bool(rng.integers(0, 2)),
+        n_workers=int(rng.integers(1, 4)),
+    )
+
+
+class TestTunedConfig:
+    def test_json_roundtrip(self):
+        cfg = TunedConfig(
+            space_thresholds=(128, 64),
+            dt_threshold=16,
+            mode="c",
+            fuse_leaves=False,
+            n_workers=3,
+            best_time=0.25,
+            evaluations=17,
+            tuned_unix_time=1.5e9,
+        )
+        assert TunedConfig.from_json(cfg.to_json()) == cfg
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            "not a dict",
+            {},
+            {"space_thresholds": [], "dt_threshold": 4},
+            {"space_thresholds": [0, 8], "dt_threshold": 4},
+            {"space_thresholds": [8, 8], "dt_threshold": 0},
+            {"space_thresholds": [8], "dt_threshold": 2, "mode": "cuda"},
+            {"space_thresholds": [8], "dt_threshold": 2, "n_workers": 0},
+        ],
+    )
+    def test_malformed_entries_rejected(self, broken):
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            TunedConfig.from_json(broken)
+
+
+class TestStoreLookup:
+    def test_roundtrip(self):
+        st, u, k, problem = _heat_problem()
+        cfg = TunedConfig(space_thresholds=(12, 12), dt_threshold=3)
+        assert registry.store(problem, "auto", cfg)
+        got = registry.lookup(problem, "auto")
+        assert got is not None
+        assert got.space_thresholds == (12, 12)
+        assert got.dt_threshold == 3
+
+    def test_miss_on_different_backend(self):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        assert registry.lookup(problem, "split_pointer") is None
+
+    def test_miss_on_different_problem(self):
+        _, _, _, p_a = _heat_problem((32, 32))
+        _, _, _, p_b = _heat_problem((32, 31))
+        registry.store(p_a, "auto", TunedConfig((12, 12), 3))
+        assert registry.lookup(p_b, "auto") is None
+
+    def test_miss_on_fingerprint_change(self, monkeypatch):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        monkeypatch.setattr(
+            registry, "machine_fingerprint", lambda: "cpu999|cc:other-box"
+        )
+        assert registry.lookup(problem, "auto") is None
+
+    def test_signature_ignores_time_window_and_data(self):
+        st, u, k = make_heat_problem((32, 32))
+        sig_a = registry.problem_signature(st.prepare(4, k))
+        u.set_initial(np.ones((32, 32)))
+        sig_b = registry.problem_signature(st.prepare(9, k))
+        assert sig_a == sig_b
+
+    def test_clear_registry(self, isolated_registry):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        assert isolated_registry.exists()
+        registry.clear_registry()
+        assert not isolated_registry.exists()
+        assert registry.lookup(problem, "auto") is None
+
+
+class TestRobustness:
+    """Damage of every kind degrades to heuristics, never an exception."""
+
+    def test_corrupt_json_evicted_and_run_survives(self, isolated_registry):
+        isolated_registry.write_text("{ this is not json")
+        st, u, k, problem = _heat_problem()
+        assert registry.lookup(problem, "auto") is None
+        # the corpse was moved aside, so the next store starts clean
+        assert not isolated_registry.exists()
+        corpse = isolated_registry.with_name(isolated_registry.name + ".corrupt")
+        assert corpse.exists()
+        report = st.run(6, k, autotune="use")
+        assert report.autotune_source == "heuristic"
+
+    def test_schema_version_bump_discards_entries(self, isolated_registry):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        doc = json.loads(isolated_registry.read_text())
+        doc["schema"] = SCHEMA_VERSION + 1
+        isolated_registry.write_text(json.dumps(doc))
+        assert registry.lookup(problem, "auto") is None
+        report = st.run(6, k, autotune="use")
+        assert report.autotune_source == "heuristic"
+
+    def test_corrupt_entry_dropped_others_survive(self, isolated_registry):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        doc = json.loads(isolated_registry.read_text())
+        doc["entries"]["bogus-key"] = {"space_thresholds": "nope"}
+        isolated_registry.write_text(json.dumps(doc))
+        assert registry.lookup(problem, "auto") is not None
+        assert "bogus-key" not in registry.entries()
+
+    def test_wrong_arity_entry_not_applied(self):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((8, 8, 8), 3))
+        assert registry.lookup(problem, "auto") is None
+        report = st.run(6, k, autotune="use")
+        assert report.autotune_source == "heuristic"
+
+    def test_unwritable_registry_never_reaches_run(self, monkeypatch, tmp_path):
+        # Point the registry *file* at a directory: every read and write
+        # fails with OSError, which must stay inside the registry layer.
+        monkeypatch.setenv("REPRO_TUNE_REGISTRY", str(tmp_path))
+        st, u, k, problem = _heat_problem()
+        assert registry.store(problem, "auto", TunedConfig((12, 12), 3)) is False
+        assert registry.lookup(problem, "auto") is None
+        report = st.run(6, k, autotune="use")
+        assert report.autotune_source == "heuristic"
+
+    def test_registry_off_by_default(self, isolated_registry):
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        report = st.run(6, k)  # autotune defaults to "off"
+        assert report.autotune_source == "heuristic"
+        st2, u2, k2 = make_heat_problem((32, 32))
+        with pytest.raises(Exception):
+            st2.run(6, k2, autotune="sometimes")
+
+
+class TestEquivalence:
+    """Tuned configs change dispatch, never results."""
+
+    def test_random_configs_bitwise_equal_heat(self):
+        ref_st, ref_u, ref_k = make_heat_problem((32, 32))
+        ref_st.run(8, ref_k)
+        ref = ref_u.snapshot(ref_st.cursor)
+        rng = np.random.default_rng(2026)
+        for trial in range(6):
+            registry.clear_registry()
+            st, u, k = make_heat_problem((32, 32))
+            cfg = _random_config(rng, 2, modes=["auto"] + ALL_MODES)
+            registry.store(st.prepare(8, k), "auto", cfg)
+            report = st.run(8, k, autotune="use")
+            assert report.autotune_source == "registry", (trial, cfg)
+            assert np.array_equal(u.snapshot(st.cursor), ref), (trial, cfg)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_explicit_backend_with_tuned_thresholds(self, mode):
+        ref_st, ref_u, ref_k = make_heat_problem((24, 24))
+        ref_st.run(6, ref_k, mode=mode)
+        ref = ref_u.snapshot(ref_st.cursor)
+        st, u, k = make_heat_problem((24, 24))
+        registry.store(
+            st.prepare(6, k), mode, TunedConfig((7, 9), 2, mode=mode)
+        )
+        report = st.run(6, k, mode=mode, autotune="use")
+        assert report.autotune_source == "registry"
+        assert report.mode == mode
+        assert np.array_equal(u.snapshot(st.cursor), ref)
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "dag"])
+    def test_all_executors_under_tuned_config(self, executor):
+        ref_st, ref_u, ref_k = make_heat_problem((32, 32))
+        ref_st.run(8, ref_k)
+        ref = ref_u.snapshot(ref_st.cursor)
+        st, u, k = make_heat_problem((32, 32))
+        registry.store(
+            st.prepare(8, k), "auto", TunedConfig((9, 11), 2, n_workers=3)
+        )
+        report = st.run(8, k, executor=executor, autotune="use")
+        assert report.autotune_source == "registry"
+        assert np.array_equal(u.snapshot(st.cursor), ref)
+
+    @pytest.mark.parametrize("name", available_apps())
+    def test_all_apps_tuned_equals_heuristic(self, name):
+        """All apps x a seeded random tuned config: bitwise equality
+        against the heuristic-default run (the autotune analogue of the
+        executor-equivalence safety net)."""
+        ref_app = build(name, "tiny")
+        ref_app.run()
+        ref = ref_app.result()
+        # crc32, not hash(): str hashing is salted per process, and a
+        # failure must reproduce with the exact same config on rerun.
+        rng = np.random.default_rng(zlib.crc32(name.encode()))
+        app = build(name, "tiny")
+        problem = app.stencil.prepare(app.steps, app.kernel)
+        cfg = _random_config(rng, app.stencil.ndim, modes=["auto"] + ALL_MODES)
+        registry.store(problem, "auto", cfg)
+        report = app.run(autotune="use")
+        assert report.autotune_source == "registry", (name, cfg)
+        assert np.array_equal(app.result(), ref), (name, cfg)
+
+    def test_explicit_knobs_beat_registry(self):
+        st, u, k = make_heat_problem((32, 32))
+        registry.store(
+            st.prepare(8, k),
+            "auto",
+            TunedConfig((4, 4), 1, fuse_leaves=True, n_workers=3),
+        )
+        report = st.run(
+            8, k, autotune="use", mode="split_pointer", n_workers=1,
+            fuse_leaves=False, space_thresholds=(16, 16), dt_threshold=4,
+        )
+        # every knob the entry covers was pinned by the caller, so the
+        # registry applied nothing and must not claim the run
+        assert report.autotune_source == "explicit"
+        assert report.n_workers == 1
+
+    def test_partial_pinning_still_counts_as_registry(self):
+        st, u, k = make_heat_problem((32, 32))
+        registry.store(st.prepare(8, k), "auto", TunedConfig((4, 4), 1))
+        report = st.run(8, k, autotune="use", space_thresholds=(16, 16))
+        # dt_threshold still came from the registry entry
+        assert report.autotune_source == "registry"
+
+    def test_strap_never_served_a_trap_config(self):
+        st, u, k = make_heat_problem((32, 32))
+        registry.store(st.prepare(8, k), "auto", TunedConfig((4, 4), 1))
+        report = st.run(8, k, algorithm="strap", autotune="use")
+        # strap keys on "strap:auto", so the trap entry must not apply
+        assert report.autotune_source == "heuristic"
+
+
+class TestTuneOnMiss:
+    def test_tune_on_miss_tunes_stores_and_applies(self):
+        ref_st, ref_u, ref_k = make_heat_problem((32, 32))
+        ref_st.run(8, ref_k)
+        ref = ref_u.snapshot(ref_st.cursor)
+
+        st, u, k = make_heat_problem((32, 32))
+        report = st.run(8, k, autotune="tune-on-miss")
+        assert report.autotune_source == "tuned"
+        assert np.array_equal(u.snapshot(st.cursor), ref)
+        assert len(registry.entries()) == 1
+
+        # same process, second run: served from the registry
+        st2, u2, k2 = make_heat_problem((32, 32))
+        report2 = st2.run(8, k2, autotune="tune-on-miss")
+        assert report2.autotune_source == "registry"
+        assert np.array_equal(u2.snapshot(st2.cursor), ref)
+
+    def test_tuning_leaves_user_arrays_untouched(self):
+        st, u, k = make_heat_problem((32, 32))
+        before = u.data.copy()
+        st.prepare(0, k)  # no-op; just proves prepare alone is inert
+        from repro.autotune.isat import tune_problem
+
+        problem = st.prepare(6, k)
+        result = tune_problem(problem, steps=4)
+        assert result.evaluations >= 1
+        assert np.array_equal(u.data, before)
+        assert st.cursor is None  # tuning never advances the stencil
+
+
+FRESH_PROCESS_SCRIPT = """
+import numpy as np
+from tests.conftest import make_heat_problem
+st, u, k = make_heat_problem((32, 32))
+report = st.run(8, k, autotune="use")
+print("SOURCE=" + report.autotune_source)
+print("CHECKSUM=%.17g" % float(np.sum(u.snapshot(st.cursor))))
+"""
+
+
+class TestCrossProcess:
+    def test_config_tuned_here_applies_in_a_fresh_process(
+        self, isolated_registry
+    ):
+        """The acceptance criterion: tune in this process, verify via
+        RunReport that a *fresh* interpreter loads and applies it."""
+        st, u, k = make_heat_problem((32, 32))
+        report = st.run(8, k, autotune="tune-on-miss")
+        assert report.autotune_source == "tuned"
+        checksum = float(np.sum(u.snapshot(st.cursor)))
+
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", FRESH_PROCESS_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SOURCE=registry" in proc.stdout, proc.stdout
+        line = [l for l in proc.stdout.splitlines() if l.startswith("CHECKSUM=")]
+        assert line and float(line[0].split("=")[1]) == pytest.approx(checksum)

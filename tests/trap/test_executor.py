@@ -237,6 +237,75 @@ class TestSharedPool:
         st_.run(2, k, executor="threads", n_workers=2)
         assert get_pool(2) is pool
 
+    def test_retired_pools_do_not_accumulate(self):
+        """Regression: outgrown pools used to pile up in _retired_pools
+        (threads stranded until interpreter exit).  With no lease held,
+        growth must shut the old pool down and drop it immediately."""
+        import repro.trap.executor as ex
+        from repro.trap.executor import acquire_pool, release_pool
+
+        ex.shutdown_pool()
+        pools = []
+        for n in (2, 3, 5, 7):
+            pool = acquire_pool(n)
+            release_pool(pool)
+            pools.append(pool)
+        assert ex._retired_pools == []
+        for old in pools[:-1]:
+            assert old._shutdown, "retired pool left holding threads"
+        assert not pools[-1]._shutdown
+        ex.shutdown_pool()
+
+    def test_bare_get_pool_survives_growth(self):
+        """A pool handed out via bare get_pool has no lease to signal
+        drain, so growth must retire it intact (never shut it down);
+        only shutdown_pool may reclaim it."""
+        import repro.trap.executor as ex
+
+        ex.shutdown_pool()
+        bare = get_pool(2)
+        bigger = get_pool(4)
+        assert bigger is not bare
+        assert bare in ex._retired_pools
+        assert not bare._shutdown
+        assert bare.submit(lambda: 42).result(timeout=10) == 42
+        ex.shutdown_pool()
+        assert bare._shutdown
+
+    def test_leased_pool_survives_growth_until_drained(self):
+        """A pool leased by an in-flight run must stay usable across a
+        concurrent regrowth, and be shut down + dropped by its final
+        release (the in-flight work has drained)."""
+        import repro.trap.executor as ex
+        from repro.trap.executor import acquire_pool, release_pool
+
+        ex.shutdown_pool()
+        small = acquire_pool(2)
+        big = get_pool(small._max_workers + 2)  # concurrent run outgrows it
+        assert big is not small
+        assert small in ex._retired_pools
+        assert not small._shutdown
+        # the leased pool still accepts work (the old failure mode was
+        # "cannot schedule new futures after shutdown" mid-flight)
+        assert small.submit(lambda: 41 + 1).result(timeout=10) == 42
+        release_pool(small)
+        assert small._shutdown
+        assert small not in ex._retired_pools
+        ex.shutdown_pool()
+
+    def test_parallel_runs_drain_retired_pools(self):
+        """End to end: runs that grow the pool leave no retired pools
+        and no stranded threads behind."""
+        import repro.trap.executor as ex
+
+        ex.shutdown_pool()
+        st_, u, k = make_heat_problem((16, 16))
+        for n in (2, 3, 4):
+            st_.run(2, k, executor="dag", n_workers=n, dt_threshold=2)
+        assert ex._retired_pools == []
+        assert ex._pool_leases == {}
+        ex.shutdown_pool()
+
 
 class TestDriver:
     def test_build_plan_rejects_loops(self):

@@ -80,7 +80,9 @@ def _zoids(draw, interior):
 
 
 class TestRandomZoids:
-    @settings(max_examples=40, deadline=None)
+    # derandomize pins hypothesis' RNG so a red run reproduces exactly
+    # (same zoids, same order) on any machine or CI rerun.
+    @settings(max_examples=40, deadline=None, derandomize=True)
     @given(_zoids(interior=True))
     def test_interior_leaf_matches_per_step(self, case):
         sizes, region = case
@@ -88,7 +90,7 @@ class TestRandomZoids:
         steps = _run_region(sizes, "periodic", region, fused=False)
         assert np.array_equal(fused, steps)
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40, deadline=None, derandomize=True)
     @given(
         _zoids(interior=False),
         st.sampled_from(["periodic", "neumann", "dirichlet"]),
