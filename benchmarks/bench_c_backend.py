@@ -46,7 +46,14 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 import numpy as np  # noqa: E402
 
-from benchmarks.bench_util import best_of, is_tiny, once, wall, write_bench_json  # noqa: E402
+from benchmarks.bench_util import (  # noqa: E402
+    best_of,
+    is_tiny,
+    once,
+    wall,
+    worker_sweep,
+    write_bench_json,
+)
 from repro.apps import available_apps, build  # noqa: E402
 from repro.compiler.codegen_c import find_c_compiler  # noqa: E402
 from repro.compiler.pipeline import compile_kernel  # noqa: E402
@@ -108,7 +115,11 @@ def measure_interior_microbench() -> dict:
     problem = st_.prepare(T, k)
     compiled_c = compile_kernel(problem, "c")
     compiled_np = compile_kernel(problem, "split_pointer")
-    plan = build_plan(problem, RunOptions(mode="c"))
+    # compiled_walk off: this microbench measures *per-leaf* dispatch
+    # cost, so the plan must consist of plain base regions (subtree
+    # tasks would route through walk_subtree and measure something else
+    # — bench_compiled_walk.py owns that comparison).
+    plan = build_plan(problem, RunOptions(mode="c", compiled_walk=False))
     regions = [r for r in iter_base_serial(plan) if r.interior]
     variants = {
         "fused_c": compiled_c,
@@ -177,11 +188,14 @@ def measure_dag_workers() -> dict:
         "workload": {"app": "heat2d", "grid": list(sizes), "steps": T},
         "cpu_count": os.cpu_count() or 1,
     }
+    counts, note = worker_sweep(WORKER_COUNTS)
+    if note:
+        out["note"] = note
     for mode in ("c", "split_pointer"):
         st_w, _, k_w = make_heat_problem(sizes)
         st_w.run(1, k_w, mode=mode)  # warm compile outside the timing
         walls = {}
-        for w in WORKER_COUNTS:
+        for w in counts:
             def run(w=w, mode=mode):
                 st_, _, k = make_heat_problem(sizes)
                 return st_.run(T, k, mode=mode, executor="dag", n_workers=w)
@@ -247,7 +261,12 @@ if __name__ == "__main__":
         )
     else:
         micro = payload["interior_microbench"]
+        wrote = (
+            "BENCH_c_backend.json written"
+            if not is_tiny()
+            else "tiny scale: record not written"
+        )
         print(
             f"c backend: fused-C {micro['c_over_numpy_fused']:.2f}x fused-NumPy "
-            f"on the interior microbench — BENCH_c_backend.json written"
+            f"on the interior microbench — {wrote}"
         )

@@ -1,0 +1,297 @@
+"""Compiled-walk subtree execution vs per-leaf C dispatch.
+
+The C backend's ``walk_subtree`` clone runs a whole interior subtree of
+the trapezoidal recursion — trisection/hyperspace cuts, time cuts, and
+the fused leaf bodies — inside one GIL-released ctypes call, so the
+Python runtime schedules *subtrees* instead of individual base cases.
+This benchmark records, for the perf trajectory:
+
+* **subtree microbench** — the largest interior subtree task of a
+  heat2d plan, executed via one ``walk_subtree`` call vs the Python
+  replay of the same recursion dispatching each fused C leaf
+  individually.  This isolates the per-subtree dispatch saving.
+* **apps sweep** — end-to-end TRAP wall time per app with
+  ``compiled_walk`` on vs off, both arms at the *paper's published*
+  base-case sizes (2D: 100x100x5 etc.).  Fine-grained base cases are
+  exactly the regime the compiled recursion exists for: the paper runs
+  its whole recursion below the interpreted layer, and with Pochoir's
+  own coarsening constants the Python-side walk/dispatch dominates our
+  per-leaf path (the acceptance bar: >= 1.5x on at least two apps).
+* **dag workers** — the task-DAG executor at 1/2/4 workers, walk on vs
+  off.  On a single-core host the sweep is limited to 1 worker with a
+  note (multi-worker timings there measure contention, not scaling).
+* **equivalence** — compiled-walk on vs off, bitwise, for every
+  registered app and every heat boundary kind.
+
+Runnable three ways::
+
+    pytest benchmarks/bench_compiled_walk.py --benchmark-only -s
+    python benchmarks/bench_compiled_walk.py            # prints + JSON
+    python benchmarks/bench_compiled_walk.py --check    # CI smoke:
+                                                        # exits nonzero
+                                                        # on mismatch,
+                                                        # never on
+                                                        # timing
+
+Without a C compiler every entry point degrades gracefully (``--check``
+prints a notice and exits 0; the pytest entry skips) — the planner
+never emits subtree tasks for a backend without a walk clone, so there
+is nothing to measure.  A passing measuring run at non-tiny scale
+writes ``BENCH_compiled_walk.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import replace
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.bench_util import (  # noqa: E402
+    best_of,
+    is_tiny,
+    once,
+    wall,
+    worker_sweep,
+    write_bench_json,
+)
+from repro.apps import available_apps, build  # noqa: E402
+from repro.compiler.codegen_c import find_c_compiler  # noqa: E402
+from repro.compiler.pipeline import compile_kernel  # noqa: E402
+from repro.language.stencil import RunOptions  # noqa: E402
+from repro.trap.coarsening import paper_thresholds  # noqa: E402
+from repro.trap.driver import build_plan  # noqa: E402
+from repro.trap.executor import run_base_region  # noqa: E402
+from repro.trap.plan import iter_base_serial  # noqa: E402
+from tests.conftest import make_heat_problem  # noqa: E402
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Apps timed by the sweep (every registered app is equivalence-checked).
+SWEEP_APPS = ("heat2d", "life", "wave3d", "psa")
+
+
+def _paper_opts(ndim: int) -> dict:
+    """The paper's published coarsening, as Stencil.run overrides."""
+    space, dt = paper_thresholds(ndim)
+    return {"space_thresholds": space, "dt_threshold": dt}
+
+
+def check_equivalence() -> dict[str, bool]:
+    """Compiled-walk on and off must agree bitwise on every registered
+    app (tiny scale) and every heat boundary kind."""
+    results: dict[str, bool] = {}
+    for name in available_apps():
+        ref_app = build(name, "tiny")
+        ref_app.run(dt_threshold=2, mode="c", compiled_walk=False)
+        ref = ref_app.result()
+        app = build(name, "tiny")
+        app.run(dt_threshold=2, mode="c")  # compiled_walk auto-on
+        results[f"app:{name}"] = bool(np.array_equal(app.result(), ref))
+    sizes = (24, 24)
+    for boundary in ("periodic", "neumann", "dirichlet"):
+        st_ref, u_ref, k_ref = make_heat_problem(sizes, boundary=boundary)
+        st_ref.run(8, k_ref, mode="c", dt_threshold=2, compiled_walk=False)
+        ref = u_ref.snapshot(st_ref.cursor)
+        st_w, u_w, k_w = make_heat_problem(sizes, boundary=boundary)
+        st_w.run(8, k_w, mode="c", dt_threshold=2)
+        results[f"boundary:{boundary}"] = bool(
+            np.array_equal(u_w.snapshot(st_w.cursor), ref)
+        )
+    return results
+
+
+def measure_subtree_microbench() -> dict:
+    """One subtree, two execution strategies.
+
+    The largest interior subtree task of a paper-coarsened heat2d plan
+    runs (a) as one ``walk_subtree`` call and (b) through the Python
+    replay of the identical recursion, dispatching each fused C leaf
+    separately — the pure dispatch saving, kernel work held constant.
+    """
+    sizes, T = ((96, 96), 24) if is_tiny() else ((512, 512), 64)
+    st_, u, k = make_heat_problem(sizes)
+    problem = st_.prepare(T, k)
+    compiled = compile_kernel(problem, "c")
+    if is_tiny():
+        # The paper's 100^2 tiles exceed the tiny grid (nothing would
+        # cut, so nothing would be interior); shrink proportionally.
+        opts = RunOptions(mode="c", space_thresholds=(24, 24), dt_threshold=4)
+    else:
+        opts = RunOptions(mode="c", **_paper_opts(2))
+    plan = build_plan(problem, opts)
+    subtrees = [r for r in iter_base_serial(plan) if r.walk is not None]
+    if not subtrees:  # pragma: no cover - both scales plan subtrees
+        return {"note": "plan produced no subtree tasks at this scale"}
+    region = max(subtrees, key=lambda r: r.volume())
+    per_leaf = replace(compiled, walk=None)  # leaf kept: per-leaf dispatch
+
+    def run_walk():
+        run_base_region(region, compiled)
+
+    def run_leaves():
+        run_base_region(region, per_leaf)
+
+    run_walk()  # warm
+    walk_s = best_of(run_walk, 5)
+    leaves_s = best_of(run_leaves, 5)
+    return {
+        "workload": {
+            "app": "heat2d",
+            "grid": list(sizes),
+            "steps": T,
+            "subtree_volume": region.volume(),
+            "subtree_tasks_in_plan": len(subtrees),
+        },
+        "walk_call_s": round(walk_s, 6),
+        "per_leaf_s": round(leaves_s, 6),
+        "walk_over_per_leaf": (
+            round(leaves_s / walk_s, 3) if walk_s > 0 else 0.0
+        ),
+    }
+
+
+def measure_apps() -> dict:
+    """End-to-end TRAP per app, compiled-walk on vs off, both arms at
+    the paper's published base-case sizes (identical plans above the
+    subtree grain, identical kernels — only the dispatch layer moves)."""
+    out: dict = {}
+    scale = "tiny" if is_tiny() else "small"
+    for name in SWEEP_APPS:
+        probe = build(name, scale)
+        opts = _paper_opts(probe.stencil.ndim)
+        probe.run(mode="c", **opts)  # warm the compile cache
+        entry: dict = {"thresholds": [list(opts["space_thresholds"]),
+                                      opts["dt_threshold"]]}
+        reports: dict = {}
+        for key, cw in (("walk_s", None), ("per_leaf_s", False)):
+            walls = []
+            for _ in range(2):  # best-of-2: single shots wobble ~5%
+                app = build(name, scale)  # built outside the timed window
+                walls.append(
+                    wall(lambda: reports.__setitem__(
+                        key, app.run(mode="c", compiled_walk=cw, **opts)
+                    ))
+                )
+            entry[key] = round(min(walls), 4)
+        entry["walk_over_per_leaf"] = (
+            round(entry["per_leaf_s"] / entry["walk_s"], 3)
+            if entry["walk_s"] > 0
+            else 0.0
+        )
+        # Granularity evidence, from the timed runs' own reports.
+        entry["tasks_walk"] = reports["walk_s"].base_cases
+        entry["subtree_tasks"] = reports["walk_s"].subtree_tasks
+        entry["tasks_per_leaf"] = reports["per_leaf_s"].base_cases
+        out[name] = entry
+    return out
+
+
+def measure_dag_workers() -> dict:
+    """The task-DAG executor across worker counts, walk on vs off."""
+    sizes, T = ((96, 96), 24) if is_tiny() else ((768, 768), 96)
+    opts = _paper_opts(2)
+    out: dict = {
+        "workload": {"app": "heat2d", "grid": list(sizes), "steps": T},
+        "cpu_count": os.cpu_count() or 1,
+    }
+    counts, note = worker_sweep(WORKER_COUNTS)
+    if note:
+        out["note"] = note
+    for key, cw in (("walk", None), ("per_leaf", False)):
+        st_w, _, k_w = make_heat_problem(sizes)
+        st_w.run(1, k_w, mode="c")  # warm compile outside the timing
+        walls = {}
+        for w in counts:
+            def run(w=w, cw=cw):
+                st_, _, k = make_heat_problem(sizes)
+                return st_.run(
+                    T, k, mode="c", executor="dag", n_workers=w,
+                    compiled_walk=cw, **opts,
+                )
+
+            walls[str(w)] = round(best_of(run, 2), 4)
+        out[key] = walls
+    return out
+
+
+def run_compiled_walk(check_only: bool = False) -> dict:
+    equivalence = check_equivalence()
+    payload: dict = {"equivalence": equivalence}
+    if not check_only:
+        payload["subtree_microbench"] = measure_subtree_microbench()
+        payload["apps"] = measure_apps()
+        payload["dag_workers"] = measure_dag_workers()
+        # Only a passing, non-smoke measuring run may write: timings
+        # from a diverging kernel would clobber the committed record.
+        if all(equivalence.values()) and not is_tiny():
+            write_bench_json("compiled_walk", payload)
+    return payload
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
+def test_compiled_walk(benchmark):
+    if find_c_compiler() is None:
+        import pytest
+
+        pytest.skip("no C compiler")
+    payload = once(benchmark, run_compiled_walk)
+    bad = sorted(k for k, ok in payload["equivalence"].items() if not ok)
+    assert not bad, f"compiled walk diverged: {bad}"
+    apps = payload["apps"]
+    benchmark.extra_info["walk_over_per_leaf"] = {
+        name: entry["walk_over_per_leaf"] for name, entry in apps.items()
+    }
+    for name, entry in apps.items():
+        print(
+            f"\n[compiled-walk] {name}: walk {entry['walk_s']:.4f}s vs "
+            f"per-leaf {entry['per_leaf_s']:.4f}s -> "
+            f"{entry['walk_over_per_leaf']:.2f}x "
+            f"({entry['tasks_walk']} tasks / {entry['subtree_tasks']} "
+            f"subtrees vs {entry['tasks_per_leaf']} tasks)"
+        )
+
+
+if __name__ == "__main__":
+    check_only = "--check" in sys.argv
+    if find_c_compiler() is None:
+        # Graceful-degradation contract (the CI no-toolchain leg runs
+        # exactly this): no compiler means no walk clone, the planner
+        # emits no subtree tasks, and runs fall back to the Python walk.
+        print("no C compiler found: compiled-walk benchmark skipped")
+        sys.exit(0)
+    payload = run_compiled_walk(check_only=check_only)
+    bad = sorted(k for k, ok in payload["equivalence"].items() if not ok)
+    if bad:
+        print(f"EQUIVALENCE MISMATCH: {bad}", file=sys.stderr)
+        sys.exit(1)
+    if check_only:
+        print(
+            f"compiled walk equivalence ok "
+            f"({len(payload['equivalence'])} cases: all apps + boundaries)"
+        )
+    else:
+        micro = payload["subtree_microbench"]
+        micro_txt = (
+            f"{micro['walk_over_per_leaf']:.1f}x on the subtree microbench"
+            if "walk_over_per_leaf" in micro
+            else micro.get("note", "no subtree microbench")
+        )
+        fast = sorted(
+            (e["walk_over_per_leaf"], n) for n, e in payload["apps"].items()
+        )
+        wrote = (
+            "BENCH_compiled_walk.json written"
+            if not is_tiny()
+            else "tiny scale: record not written"
+        )
+        print(
+            f"compiled walk: {micro_txt}; apps "
+            + ", ".join(f"{n} {s:.2f}x" for s, n in reversed(fast))
+            + f" — {wrote}"
+        )

@@ -46,13 +46,49 @@ def best_of(fn: Callable[[], object], reps: int = 3) -> float:
     return min(wall(fn) for _ in range(max(1, reps)))
 
 
+def machine_record() -> dict:
+    """The machine fingerprint stamped into every benchmark record.
+
+    CPU count and C toolchain identity are what make two timings
+    comparable (or not): a 1-core container's flat worker sweep and a
+    12-core host's scaling curve must never be read as the same
+    machine's trajectory.  Mirrors the autotune registry's fingerprint
+    components.
+    """
+    from repro.compiler.codegen_c import compiler_identity, find_c_compiler
+
+    cc = find_c_compiler()
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "compiler": compiler_identity(cc) if cc else "none",
+    }
+
+
+def worker_sweep(counts: tuple[int, ...]) -> tuple[tuple[int, ...], str | None]:
+    """(worker counts to sweep, explanatory note or None) for this host.
+
+    On a single-core host a worker sweep cannot show scaling — extra
+    workers only add scheduling overhead, and the resulting slowdowns
+    read as a (bogus) parallelism regression in the perf trajectory.
+    Such hosts measure 1 worker only, with a note saying why; every
+    benchmark with a sweep shares this policy so the records agree.
+    """
+    if (os.cpu_count() or 1) > 1:
+        return counts, None
+    return (1,), (
+        "single-core host: worker sweep limited to 1 worker "
+        "(multi-worker timings would measure contention, not scaling)"
+    )
+
+
 def write_bench_json(name: str, payload: dict) -> str:
     """Write ``BENCH_<name>.json`` at the repo root and return its path.
 
     The machine-readable perf trajectory: every benchmark that measures
     something records its numbers here, so successive PRs can be compared
-    without re-parsing printed tables.  ``scale`` and a timestamp are
-    stamped automatically; the payload should carry sizes/steps/timings.
+    without re-parsing printed tables.  ``scale``, a timestamp, and the
+    :func:`machine_record` fingerprint are stamped automatically; the
+    payload should carry sizes/steps/timings.
     """
     import json
 
@@ -62,6 +98,7 @@ def write_bench_json(name: str, payload: dict) -> str:
         "bench": name,
         "scale": bench_scale(),
         "unix_time": round(time.time(), 1),
+        "machine": machine_record(),
         **payload,
     }
     with open(path, "w") as f:
@@ -74,8 +111,10 @@ __all__ = [
     "bench_scale",
     "best_of",
     "is_tiny",
+    "machine_record",
     "measure",
     "once",
     "wall",
+    "worker_sweep",
     "write_bench_json",
 ]

@@ -215,6 +215,7 @@ def tune_dispatch(
     dt_candidates: Sequence[int] | None = None,
     fuse_candidates: Sequence[bool] = (True, False),
     worker_candidates: Sequence[int | None] | None = None,
+    cwalk_candidates: Sequence[bool | None] = (None, False),
     repeats: int = 1,
     max_sweeps: int = 2,
     algorithm: str = "trap",
@@ -223,8 +224,11 @@ def tune_dispatch(
 
     Axes: codegen mode, each dimension's space threshold (independently —
     unlike :func:`tune_coarsening`'s single shared threshold), the dt
-    threshold, ``fuse_leaves``, and ``n_workers``.  Defaults derive from
-    the backend-aware heuristics (a log grid around each default), and
+    threshold, ``fuse_leaves``, ``compiled_walk`` (``None`` = the auto
+    rule — on for the C backend — vs forced off; subtree-task planning
+    shifts the optimum toward finer base cases, so the axis earns its
+    evaluations), and ``n_workers``.  Defaults derive from the
+    backend-aware heuristics (a log grid around each default), and
     the descent *starts at* the heuristic configuration, so the tuned
     result can only match or beat it on the tuning workload.
     ``algorithm`` selects the walk algorithm every candidate is timed
@@ -268,6 +272,8 @@ def tune_dispatch(
     start["dt"] = default_dt if default_dt in dt_candidates else dt_candidates[0]
     axes.append(("fuse", tuple(fuse_candidates)))
     start["fuse"] = fuse_candidates[0]
+    axes.append(("cwalk", tuple(cwalk_candidates)))
+    start["cwalk"] = cwalk_candidates[0]
     if worker_candidates is None:
         import os
 
@@ -286,6 +292,7 @@ def tune_dispatch(
             mode=cfg["mode"],
             fuse_leaves=cfg["fuse"],
             n_workers=cfg["workers"],
+            compiled_walk=cfg["cwalk"],
         )
 
     def run_point(key: tuple) -> float:
@@ -300,6 +307,7 @@ def tune_dispatch(
                 dt_threshold=config.dt_threshold,
                 fuse_leaves=config.fuse_leaves,
                 n_workers=config.n_workers,
+                compiled_walk=config.compiled_walk,
                 collect_stats=False,
                 autotune="off",
             )

@@ -49,8 +49,13 @@ from typing import Any
 
 #: Bump when the entry layout changes; a mismatched file is discarded
 #: wholesale (stale tunings are worthless, silently misreading them is
-#: worse).
-SCHEMA_VERSION = 1
+#: worse).  History: 1 — original dispatch space; 2 — ``compiled_walk``
+#: knob added (subtree-task planning over the compiled interior
+#: recursion).  There is no in-place migration: a schema-1 file reads as
+#: empty and the next tune-on-miss rewrites it at the current version —
+#: re-tuning is cheap, misapplying a config tuned without the new knob
+#: is not.
+SCHEMA_VERSION = 2
 
 _REGISTRY_LOCK = threading.Lock()
 
@@ -61,9 +66,10 @@ class TunedConfig:
     ISAT search covers, not just the two coarsening thresholds.
 
     ``mode`` is a concrete codegen mode (or ``"auto"`` meaning "no
-    preference"); ``n_workers`` ``None`` keeps the run's default.
-    ``best_time``/``evaluations``/``tuned_unix_time`` are provenance for
-    inspection, not applied to runs.
+    preference"); ``n_workers`` ``None`` keeps the run's default, and
+    ``compiled_walk`` ``None`` keeps the run's auto rule (on for the C
+    backend).  ``best_time``/``evaluations``/``tuned_unix_time`` are
+    provenance for inspection, not applied to runs.
     """
 
     space_thresholds: tuple[int, ...]
@@ -71,6 +77,7 @@ class TunedConfig:
     mode: str = "auto"
     fuse_leaves: bool = True
     n_workers: int | None = None
+    compiled_walk: bool | None = None
     best_time: float = 0.0
     evaluations: int = 0
     tuned_unix_time: float = 0.0
@@ -100,12 +107,19 @@ class TunedConfig:
             workers = int(workers)
             if workers < 1:
                 raise ValueError(f"bad n_workers {workers}")
+        cwalk = obj.get("compiled_walk")
+        # isinstance, not `in (None, True, False)`: a hand-edited file
+        # may carry 0/1, which equality would admit but the consumer's
+        # `is False`/`is None` dispatch would misread as "on".
+        if cwalk is not None and not isinstance(cwalk, bool):
+            raise ValueError(f"bad compiled_walk {cwalk!r}")
         return TunedConfig(
             space_thresholds=space,
             dt_threshold=dt,
             mode=mode,
             fuse_leaves=bool(obj.get("fuse_leaves", True)),
             n_workers=workers,
+            compiled_walk=cwalk,
             best_time=float(obj.get("best_time", 0.0)),
             evaluations=int(obj.get("evaluations", 0)),
             tuned_unix_time=float(obj.get("tuned_unix_time", 0.0)),

@@ -9,8 +9,8 @@ same mod trick as Figure 6 line 1 of the paper — and resolves off-domain
 reads per the array's boundary kind (periodic wrap, Neumann clamp,
 Dirichlet fill).
 
-Four clones are generated per kernel, mirroring the ``split_pointer``
-backend:
+Five clones are generated per kernel, mirroring and extending the
+``split_pointer`` backend:
 
 * ``interior_step`` / ``boundary_step`` — one time step on one region.
 * ``leaf`` / ``leaf_boundary`` — the *fused* base-case clones: the whole
@@ -20,6 +20,12 @@ backend:
   mapping is exact for any virtual box, the C fused boundary leaf never
   declines a region — unlike the NumPy snapshot leaf, which must fall
   back for wrapped home ranges under clip/fill boundaries.
+* ``walk_subtree`` — the compiled *interior recursion*: trisection
+  space cuts, hyperspace level grouping, and time cuts, bottoming out
+  in ``leaf``, so one ctypes call executes an entire interior subtree
+  of the trapezoidal decomposition with the GIL released.  Coarsening
+  thresholds and slopes arrive as scalar arguments, so tuned configs
+  apply without recompiling.
 
 Every clone takes its bounds as *scalar* ``i64`` arguments (the
 dimensionality is a codegen-time constant), so a call marshals a handful
@@ -292,10 +298,24 @@ class _CCodegen:
 
 
 def _ptr_args(ir: KernelIR) -> list[str]:
-    """Data-pointer parameters shared by every clone signature."""
-    args = [f"double* D_{info.name}" for info in ir.array_infos]
-    args.extend(f"const double* C_{c}" for c in sorted(ir.const_arrays))
+    """Data-pointer parameters shared by every clone signature.
+
+    Every pointer is ``restrict``-qualified: each registered array and
+    each const array owns a distinct buffer (the pipeline never aliases
+    them), so the compiler may keep loads in registers across stores to
+    other arrays.  Reads and writes *within* one array go through the
+    same pointer, so the in-place ping-pong slot scheme stays legal.
+    """
+    args = [f"double* restrict D_{info.name}" for info in ir.array_infos]
+    args.extend(f"const double* restrict C_{c}" for c in sorted(ir.const_arrays))
     return args
+
+
+def _ptr_names(ir: KernelIR) -> list[str]:
+    """The bare pointer identifiers, for forwarding calls between clones."""
+    names = [f"D_{info.name}" for info in ir.array_infos]
+    names.extend(f"C_{c}" for c in sorted(ir.const_arrays))
+    return names
 
 
 def _slot_lines(ir: KernelIR, indent: str) -> list[str]:
@@ -389,12 +409,186 @@ def _leaf_fn_source(ir: KernelIR, *, boundary_mode: bool) -> str:
     return "\n".join(lines)
 
 
+def _walk_fn_source(ir: KernelIR) -> str:
+    """The compiled interior recursion: ``walk_subtree`` + its helper.
+
+    ``walk_rec`` is a self-contained C implementation of the TRAP/STRAP
+    control flow for *interior* zoids (Figure 2 minus the boundary
+    classification, which the planner already resolved): per-dimension
+    trisection space cuts combined into level-ordered hyperspace cuts
+    (Lemma 1), then time cuts, bottoming out in the already-generated
+    fused ``leaf`` clone.  Circular cuts are deliberately absent — a
+    full-circumference extent with nonzero slope always reads across the
+    seam, so it can never be interior, and the planner additionally
+    guards the corner case (:func:`repro.trap.walker._fits_walk_grain`).
+
+    Coarsening thresholds, slopes, and the hyperspace flag arrive as
+    scalar ``i64`` arguments, so tuned configurations from the autotune
+    registry apply to the compiled recursion unrebuilt.  Execution
+    within one call is depth-first and levels run in order, which is a
+    valid serialization of the Seq/Par structure; every point is still
+    written exactly once from fully-computed neighbors, so results are
+    bitwise identical to the Python walk over the same zoid.
+    """
+    d = ir.ndim
+    ptr_args = _ptr_args(ir)
+    ptr_names = _ptr_names(ir)
+    pa = ", ".join(ptr_args)
+    pn = ", ".join(ptr_names)
+    leaf_call = ", ".join(
+        [pn, "ta", "tb"]
+        + [f"xa[{i}]" for i in range(d)]
+        + [f"xb[{i}]" for i in range(d)]
+        + [f"dxa[{i}]" for i in range(d)]
+        + [f"dxb[{i}]" for i in range(d)]
+    )
+    lines = [
+        f"static void walk_rec({pa}, i64 ta, i64 tb,",
+        "    const i64* xa, const i64* xb, const i64* dxa, const i64* dxb,",
+        "    const i64* sl, const i64* th, i64 dt_th, i64 hyper) {",
+        f"  const i64 h = tb - ta;",
+        f"  i64 pxa[{d}][3], pxb[{d}][3], pdxa[{d}][3], pdxb[{d}][3];",
+        f"  i64 pbit[{d}][3];",
+        f"  i64 np[{d}];",
+        "  int cut = 0;",
+        f"  for (int i = 0; i < {d}; ++i) {{",
+        "    np[i] = 0;",
+        "    if (cut && !hyper) continue;  /* STRAP: first cuttable dim only */",
+        "    const i64 bottom = xb[i] - xa[i];",
+        "    const i64 top = bottom + (dxb[i] - dxa[i]) * h;",
+        "    const i64 w = bottom >= top ? bottom : top;",
+        "    if (w <= th[i]) continue;",
+        "    const i64 sg = sl[i];",
+        "    if (sg == 0) {",
+        "      /* dependency-free dimension: plain bisection, no gray */",
+        "      if (bottom < 2) continue;",
+        "      const i64 mid = xa[i] + bottom / 2;",
+        "      pxa[i][0] = xa[i]; pxb[i][0] = mid;",
+        "      pdxa[i][0] = dxa[i]; pdxb[i][0] = dxb[i]; pbit[i][0] = 0;",
+        "      pxa[i][1] = mid; pxb[i][1] = xb[i];",
+        "      pdxa[i][1] = dxa[i]; pdxb[i][1] = dxb[i]; pbit[i][1] = 0;",
+        "      np[i] = 2; cut = 1;",
+        "    } else if (bottom >= top) {",
+        "      /* upright: blacks first, inverted gray after (Fig. 7(a)) */",
+        "      const i64 l0 = bottom / 2, l1 = bottom - l0;",
+        "      i64 needl = (sg + dxa[i]) * h; if (needl < 1) needl = 1;",
+        "      i64 needr = (sg - dxb[i]) * h; if (needr < 1) needr = 1;",
+        "      if (l0 < needl || l1 < needr) continue;",
+        "      const i64 mid = xa[i] + l0;",
+        "      pxa[i][0] = xa[i]; pxb[i][0] = mid;",
+        "      pdxa[i][0] = dxa[i]; pdxb[i][0] = -sg; pbit[i][0] = 0;",
+        "      pxa[i][1] = mid; pxb[i][1] = mid;",
+        "      pdxa[i][1] = -sg; pdxb[i][1] = sg; pbit[i][1] = 1;",
+        "      pxa[i][2] = mid; pxb[i][2] = xb[i];",
+        "      pdxa[i][2] = sg; pdxb[i][2] = dxb[i]; pbit[i][2] = 0;",
+        "      np[i] = 3; cut = 1;",
+        "    } else {",
+        "      /* inverted: upright gray first, blacks after (Fig. 7(b)) */",
+        "      const i64 h0 = top / 2, h1 = top - h0;",
+        "      i64 needl = (sg - dxa[i]) * h; if (needl < 1) needl = 1;",
+        "      i64 needr = (sg + dxb[i]) * h; if (needr < 1) needr = 1;",
+        "      if (h0 < needl || h1 < needr) continue;",
+        "      const i64 m_top = xa[i] + dxa[i] * h + h0;",
+        "      const i64 ga = m_top - sg * h, gb = m_top + sg * h;",
+        "      pxa[i][0] = xa[i]; pxb[i][0] = ga;",
+        "      pdxa[i][0] = dxa[i]; pdxb[i][0] = sg; pbit[i][0] = 1;",
+        "      pxa[i][1] = ga; pxb[i][1] = gb;",
+        "      pdxa[i][1] = sg; pdxb[i][1] = -sg; pbit[i][1] = 0;",
+        "      pxa[i][2] = gb; pxb[i][2] = xb[i];",
+        "      pdxa[i][2] = -sg; pdxb[i][2] = dxb[i]; pbit[i][2] = 1;",
+        "      np[i] = 3; cut = 1;",
+        "    }",
+        "  }",
+        "  if (cut) {",
+        "    /* hyperspace cut: enumerate the piece product, levels in",
+        "       sequence (Lemma 1's dependency levels), depth-first. */",
+        f"    i64 cxa[{d}], cxb[{d}], cdxa[{d}], cdxb[{d}];",
+        f"    i64 idx[{d}];",
+        f"    for (i64 level = 0; level <= {d}; ++level) {{",
+        f"      for (int i = 0; i < {d}; ++i) idx[i] = 0;",
+        "      for (;;) {",
+        "        i64 bits = 0;",
+        f"        for (int i = 0; i < {d}; ++i)",
+        "          if (np[i] > 0) bits += pbit[i][idx[i]];",
+        "        if (bits == level) {",
+        "          int ok = 1;",
+        f"          for (int i = 0; i < {d}; ++i) {{",
+        "            if (np[i] > 0) {",
+        "              cxa[i] = pxa[i][idx[i]]; cxb[i] = pxb[i][idx[i]];",
+        "              cdxa[i] = pdxa[i][idx[i]]; cdxb[i] = pdxb[i][idx[i]];",
+        "            } else {",
+        "              cxa[i] = xa[i]; cxb[i] = xb[i];",
+        "              cdxa[i] = dxa[i]; cdxb[i] = dxb[i];",
+        "            }",
+        "            const i64 b = cxb[i] - cxa[i];",
+        "            const i64 t = b + (cdxb[i] - cdxa[i]) * h;",
+        "            /* skip empty degenerate pieces (zero-point subzoids) */",
+        "            if (b < 0 || t < 0 || (b <= 0 && t <= 0)) { ok = 0; break; }",
+        "          }",
+        "          if (ok)",
+        f"            walk_rec({pn}, ta, tb, cxa, cxb, cdxa, cdxb,",
+        "                     sl, th, dt_th, hyper);",
+        "        }",
+        "        /* odometer over the cut dimensions */",
+        "        int carry = 1;",
+        f"        for (int i = 0; i < {d} && carry; ++i) {{",
+        "          if (np[i] == 0) continue;",
+        "          if (++idx[i] < np[i]) carry = 0; else idx[i] = 0;",
+        "        }",
+        "        if (carry) break;",
+        "      }",
+        "    }",
+        "    return;",
+        "  }",
+        "  if (h > dt_th && h >= 2) {",
+        "    /* time cut at the midpoint (Fig. 7(c)) */",
+        "    const i64 tm = ta + h / 2;",
+        f"    walk_rec({pn}, ta, tm, xa, xb, dxa, dxb, sl, th, dt_th, hyper);",
+        f"    i64 nxa[{d}], nxb[{d}];",
+        "    const i64 s = tm - ta;",
+        f"    for (int i = 0; i < {d}; ++i) {{",
+        "      nxa[i] = xa[i] + dxa[i] * s; nxb[i] = xb[i] + dxb[i] * s;",
+        "    }",
+        f"    walk_rec({pn}, tm, tb, nxa, nxb, dxa, dxb, sl, th, dt_th, hyper);",
+        "    return;",
+        "  }",
+        f"  leaf({leaf_call});",
+        "}",
+    ]
+    # The exported entry point: scalar bounds in, arrays packed here.
+    args = _ptr_args(ir) + ["i64 ta", "i64 tb"]
+    for prefix in ("l", "h", "dl", "dh", "s", "th"):
+        args += [f"i64 {prefix}{i}" for i in range(d)]
+    args += ["i64 dt_th", "i64 hyper"]
+    pack = []
+    for name, prefix in (
+        ("xa", "l"),
+        ("xb", "h"),
+        ("dxa", "dl"),
+        ("dxb", "dh"),
+        ("sl", "s"),
+        ("thr", "th"),
+    ):
+        init = ", ".join(f"{prefix}{i}" for i in range(d))
+        pack.append(f"  i64 {name}[{d}] = {{{init}}};")
+    lines += [
+        "",
+        f"void walk_subtree({', '.join(args)}) {{",
+        *pack,
+        f"  walk_rec({pn}, ta, tb, xa, xb, dxa, dxb, sl, thr, dt_th, hyper);",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
 def generate_c_source(ir: KernelIR, *, include_boundary: bool = True) -> str:
-    """The full postsource: prelude + per-step and fused clone pairs."""
+    """The full postsource: prelude, per-step and fused clone pairs, and
+    the compiled interior recursion (``walk_subtree``)."""
     parts = [
         _PRELUDE,
         _fn_source(ir, boundary_mode=False),
         _leaf_fn_source(ir, boundary_mode=False),
+        _walk_fn_source(ir),
     ]
     if include_boundary:
         parts.append(_fn_source(ir, boundary_mode=True))
@@ -417,8 +611,14 @@ def _cache_dir() -> Path:
 #: floating-point semantics to the expression tree: without it, gcc -O2
 #: contracts a*b+c into fused multiply-add on FMA-default targets (e.g.
 #: aarch64), breaking the bitwise C-vs-NumPy equivalence contract the
-#: tests and CI smoke enforce.
-_CFLAGS = ("-O2", "-ffp-contract=off", "-fPIC", "-shared")
+#: tests and CI smoke enforce.  ``-fno-math-errno`` lets sqrt/fabs lower
+#: to the hardware instruction instead of a libm call that must set
+#: errno; both are correctly rounded, so results stay bitwise identical
+#: (the equivalence tests would catch a target where they did not).
+#: ``-ffast-math``/``-funsafe-math-optimizations`` stay out for the same
+#: reason ``-ffp-contract=off`` is in: value-changing reassociation
+#: breaks the bitwise contract.
+_CFLAGS = ("-O2", "-ffp-contract=off", "-fno-math-errno", "-fPIC", "-shared")
 
 
 def build_shared_object(source: str, *, force: bool = False) -> Path:
@@ -472,6 +672,12 @@ def load_shared_object(source: str) -> ctypes.CDLL:
         return ctypes.CDLL(str(build_shared_object(source, force=True)))
 
 
+#: The compiled-walk entry point: (ta, tb, lo, hi, dlo, dhi, slopes,
+#: thresholds, dt_threshold, hyperspace) — one call runs a whole
+#: interior subtree of the recursion with the GIL released.
+WalkFn = Callable[..., None]
+
+
 @dataclass
 class CClones:
     """The compiled C entry points for one kernel.
@@ -479,18 +685,21 @@ class CClones:
     ``boundary``/``leaf_boundary`` are None when some array uses a
     boundary kind C cannot express (PythonBoundary); the pipeline
     substitutes the per-point Python boundary clone and per-step
-    fallback, same as the NumPy backend.
+    fallback, same as the NumPy backend.  ``walk`` (the compiled
+    interior recursion) exists regardless: it only ever touches interior
+    zoids, which no boundary kind can reach.
     """
 
     interior: CloneFn
     boundary: CloneFn | None
     leaf: LeafFn
     leaf_boundary: LeafFn | None
+    walk: WalkFn
     source: str
 
 
 def make_c_clones(ir: KernelIR) -> CClones:
-    """Compile all four clones to C and bind them through ctypes.
+    """Compile all five clones to C and bind them through ctypes.
 
     ``argtypes``/``restype`` are prebound here, once per compiled clone;
     calls then marshal plain Python ints into scalar ``i64`` parameters.
@@ -510,6 +719,7 @@ def make_c_clones(ir: KernelIR) -> CClones:
     ptr_types = [ctypes.POINTER(ctypes.c_double)] * n_ptr_args
     step_argtypes = ptr_types + [ctypes.c_longlong] * (1 + 2 * d)
     leaf_argtypes = ptr_types + [ctypes.c_longlong] * (2 + 4 * d)
+    walk_argtypes = ptr_types + [ctypes.c_longlong] * (4 + 6 * d)
 
     arr_ptrs = [
         ir.arrays[info.name].data.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
@@ -546,11 +756,27 @@ def make_c_clones(ir: KernelIR) -> CClones:
 
         return leaf
 
+    def bind_walk(fn) -> WalkFn:
+        fn.argtypes = walk_argtypes
+        fn.restype = None
+
+        def walk(
+            ta, tb, lo, hi, dlo, dhi, slopes, thresholds, dt_th, hyper,
+            _keepalive=const_bufs,
+        ):
+            fn(
+                *ptrs, ta, tb, *lo, *hi, *dlo, *dhi, *slopes, *thresholds,
+                dt_th, 1 if hyper else 0,
+            )
+
+        return walk
+
     interior = bind_step(lib.interior_step)
     leaf = bind_leaf(lib.leaf)
+    walk = bind_walk(lib.walk_subtree)
     boundary: CloneFn | None = None
     leaf_boundary: LeafFn | None = None
     if boundary_ok:
         boundary = bind_step(lib.boundary_step)
         leaf_boundary = bind_leaf(lib.leaf_boundary)
-    return CClones(interior, boundary, leaf, leaf_boundary, source)
+    return CClones(interior, boundary, leaf, leaf_boundary, walk, source)

@@ -64,6 +64,21 @@ class RunOptions:
         per-step clone invocation — the ablation knob the leaf-fusion
         and C-backend benchmarks and the equivalence tests use.  Modes
         without a leaf clone (``interp``, ``macro_shadow``) ignore it.
+    ``compiled_walk``:
+        subtree-task planning over the compiled interior recursion.
+        ``None`` (default) resolves to *on* exactly when the resolved
+        codegen mode is ``"c"`` (the only backend that compiles a
+        ``walk_subtree`` clone) and ``fuse_leaves`` is on; ``False``
+        forces it off, ``True`` forces it on — except under
+        ``fuse_leaves=False``, which always wins: the per-step ablation
+        must measure per-step dispatch, and the walk bottoms out in the
+        fused leaf it just disabled.  When on, interior zoids that fit the walk
+        grain are planned as single atomic tasks whose execution is one
+        GIL-released C call running every cut and fused leaf below the
+        subtree root; when the backend lacks a walk clone the same plan
+        degrades to a Python replay of the recursion (bitwise
+        identical).  Forcing ``True`` without the C backend therefore
+        changes granularity, never results.
     ``autotune``:
         the persistent tuned-config registry
         (:mod:`repro.autotune.registry`).  ``"off"`` (default) never
@@ -90,6 +105,7 @@ class RunOptions:
     n_workers: int | None = None
     collect_stats: bool = True
     fuse_leaves: bool = True
+    compiled_walk: bool | None = None
     autotune: str = "off"
 
     def __post_init__(self) -> None:
@@ -118,6 +134,34 @@ class RunOptions:
                 f"unknown autotune policy {self.autotune!r}; "
                 f"choose from {autotune}"
             )
+        # Identity-checked, not `in (None, True, False)`: 0 == False, so
+        # an equality test would admit int 0 here while the `is False`
+        # dispatch below treated it as "not explicitly off" — silently
+        # forcing the walk ON for a caller who asked for it off.
+        if self.compiled_walk is not None and not isinstance(
+            self.compiled_walk, bool
+        ):
+            raise SpecificationError(
+                f"compiled_walk must be None (auto), True or False, "
+                f"got {self.compiled_walk!r}"
+            )
+
+    def resolve_compiled_walk(self, resolved_mode: str) -> bool:
+        """Concrete compiled-walk setting for a resolved codegen mode.
+
+        The single source of the ``None``-means-auto rule: on exactly
+        when the backend that will run base cases compiles a
+        ``walk_subtree`` clone (mode ``"c"``) and fused leaves (which
+        the walk bottoms out in) are enabled.  An explicit ``False``
+        always wins; an explicit ``True`` is still gated on
+        ``fuse_leaves`` — the per-step ablation must measure per-step
+        dispatch, not a compiled recursion.
+        """
+        if not self.fuse_leaves or self.compiled_walk is False:
+            return False
+        if self.compiled_walk is None:
+            return resolved_mode == "c"
+        return True
 
     def resolve_executor(self) -> tuple[str, int]:
         """Concrete (executor, worker count) for this option set.
@@ -170,6 +214,9 @@ class RunReport:
     base_cases: int = 0
     boundary_base_cases: int = 0
     interior_base_cases: int = 0
+    #: Scheduled tasks that were whole compiled-walk subtrees (each one
+    #: covers many would-be base cases; requires ``collect_stats``).
+    subtree_tasks: int = 0
     executor: str = "serial"
     n_workers: int = 1
     busy_time: float = 0.0

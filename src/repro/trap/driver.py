@@ -60,6 +60,7 @@ def _walk_setup(problem: Problem, options: RunOptions):
         )
     min_off, max_off = problem.shape.min_max_offsets
     spec = walk_spec_for(problem.sizes, problem.slopes, min_off, max_off)
+    resolved = resolve_mode(options.mode)
     opts = default_options(
         problem.ndim,
         problem.sizes,
@@ -70,7 +71,11 @@ def _walk_setup(problem: Problem, options: RunOptions):
         # Coarsening defaults are tuned per backend: the cheap fused C
         # leaves want smaller zoids than the NumPy leaves (and the extra
         # base cases feed the DAG runtime's parallelism).
-        codegen_mode=resolve_mode(options.mode),
+        codegen_mode=resolved,
+        # Subtree-task planning: interior zoids that fit the walk grain
+        # become single tasks executed by the compiled walk_subtree
+        # clone (or its Python replay), one GIL-released call each.
+        compiled_walk=options.resolve_compiled_walk(resolved),
     )
     top = full_grid_zoid(problem.t_start, problem.t_end, problem.sizes)
     return top, spec, opts
@@ -94,9 +99,9 @@ def _apply_tuned(problem: Problem, options: RunOptions, tuned) -> RunOptions:
     """Fold a registry TunedConfig into the options.
 
     Only knobs still at their defaults are filled: explicit
-    ``space_thresholds``/``dt_threshold``/``mode``/``n_workers`` win
-    over the tuned values, and ``fuse_leaves=False`` (the ablation
-    setting) is never overridden.  Threshold merging (including the
+    ``space_thresholds``/``dt_threshold``/``mode``/``n_workers``/
+    ``compiled_walk`` win over the tuned values, and
+    ``fuse_leaves=False`` (the ablation setting) is never overridden.  Threshold merging (including the
     grid clamp) lives in :func:`repro.trap.coarsening.tuned_thresholds`
     so the walker and the registry agree on the final geometry.
     """
@@ -123,6 +128,8 @@ def _apply_tuned(problem: Problem, options: RunOptions, tuned) -> RunOptions:
         updates["n_workers"] = tuned.n_workers
     if options.fuse_leaves and not tuned.fuse_leaves:
         updates["fuse_leaves"] = False
+    if options.compiled_walk is None and tuned.compiled_walk is not None:
+        updates["compiled_walk"] = tuned.compiled_walk
     return _replace(options, **updates) if updates else options
 
 
@@ -255,6 +262,7 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
         report.base_cases = region_stats.base_cases
         report.interior_base_cases = region_stats.interior_base_cases
         report.boundary_base_cases = region_stats.boundary_base_cases
+        report.subtree_tasks = region_stats.subtree_tasks
     else:
         report.points_updated = problem.total_points
     return report

@@ -257,9 +257,50 @@ def run_bounded(
     return sum(join_all(futures))
 
 
+def _run_subtree_python(region: BaseRegion, compiled: "CompiledKernel") -> None:
+    """The compiled-walk degradation path: replay the interior recursion
+    in Python from the region's carried :data:`~repro.trap.plan.WalkParams`
+    and run each produced base case.
+
+    Exercised when a subtree-task plan meets a kernel without a walk
+    clone — the ``fuse_leaves=False`` ablation, a NumPy-compiled kernel
+    handed a C-planned tree, or a toolchain that vanished between
+    planning and execution.  Bitwise identical to the compiled walk: the
+    decomposition logic is the same and every point is written once from
+    fully-computed neighbors.
+    """
+    from repro.trap.walker import WalkOptions, WalkSpec, _events
+
+    assert region.walk is not None
+    slopes, thresholds, dt_threshold, hyperspace = region.walk
+    ndim = len(slopes)
+    # min/max offsets are irrelevant below a known-interior root (the
+    # classification is inherited), so zeros suffice.
+    spec = WalkSpec(
+        sizes=compiled.ir.sizes,
+        slopes=slopes,
+        min_off=(0,) * ndim,
+        max_off=(0,) * ndim,
+    )
+    opts = WalkOptions(
+        dt_threshold=dt_threshold,
+        space_thresholds=thresholds,
+        protect_unit_stride=False,  # already folded into the thresholds
+        hyperspace=hyperspace,
+        compiled_walk=False,  # decompose fully: no re-delegation loop
+    )
+    for sub in iter_base_events(_events(region.zoid(), spec, opts, True)):
+        run_base_region(sub, compiled)
+
+
 def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
     """Execute one base case: step time forward, shifting the box by the
     zoid slopes after each step (Figure 2, lines 20–28).
+
+    Subtree tasks (``region.walk`` set) run their whole interior subtree
+    through the backend's compiled ``walk_subtree`` clone — one
+    GIL-released ctypes call executes every cut and fused leaf below the
+    root — or through the Python replay when no walk clone exists.
 
     When the backend generated a fused leaf clone (``split_pointer``'s
     NumPy leaves or ``c``'s compiled leaves) the whole time loop runs
@@ -269,6 +310,18 @@ def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
     parallel.  Modes that cannot fuse (``interp``, ``macro_shadow``,
     non-vectorizable boundaries) take the per-step path below.
     """
+    if region.walk is not None:
+        walk = compiled.walk
+        if walk is not None:
+            slopes, thresholds, dt_threshold, hyperspace = region.walk
+            lo, hi, dlo, dhi = zip(*region.dims)
+            walk(
+                region.ta, region.tb, lo, hi, dlo, dhi,
+                slopes, thresholds, dt_threshold, hyperspace,
+            )
+        else:
+            _run_subtree_python(region, compiled)
+        return
     fused = compiled.leaf if region.interior else compiled.leaf_boundary
     if fused is not None:
         # One zip(*...) instead of four generator-expression tuples:

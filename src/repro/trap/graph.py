@@ -66,6 +66,13 @@ class TaskGraph:
         return len(self.regions) - self.n_tasks
 
     @property
+    def n_subtree_tasks(self) -> int:
+        """Tasks that are whole compiled-walk subtrees (coarse plans
+        schedule far fewer, far bigger nodes — benches and tests read
+        this to confirm granularity actually changed)."""
+        return sum(1 for r in self.regions if r is not None and r.walk is not None)
+
+    @property
     def n_edges(self) -> int:
         return sum(len(s) for s in self.succs)
 

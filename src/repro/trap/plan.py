@@ -49,6 +49,14 @@ if TYPE_CHECKING:  # pragma: no cover
 PlanEvent = tuple
 
 
+#: The recursion parameters a subtree task carries so its executor can
+#: reproduce the walk below it: (slopes, effective space thresholds,
+#: dt threshold, hyperspace flag).  Protected dimensions are encoded as
+#: a huge threshold (never cuttable), so no separate protect flags ride
+#: along.
+WalkParams = tuple
+
+
 @dataclass(frozen=True, slots=True)
 class BaseRegion:
     """A base-case region: run the kernel over ``[ta, tb)`` steps on a box
@@ -57,12 +65,21 @@ class BaseRegion:
     ``interior`` selects the fast kernel clone (no boundary checks); the
     boundary clone additionally reduces virtual coordinates modulo the
     grid size and resolves off-domain reads through boundary functions.
+
+    ``walk`` marks a *subtree task* (compiled-walk planning): the region
+    is not a coarsening base case but a whole interior subtree of the
+    trapezoid recursion, scheduled as one atomic unit.  Its executor
+    either hands the zoid to the backend's compiled ``walk_subtree``
+    clone (one GIL-released call runs every cut and leaf below it) or,
+    when no walk clone exists, re-runs the Python walk with the carried
+    :data:`WalkParams` — bitwise the same either way.
     """
 
     ta: int
     tb: int
     dims: tuple[DimExtent, ...]
     interior: bool
+    walk: WalkParams | None = None
 
     def zoid(self) -> Zoid:
         return Zoid(self.ta, self.tb, self.dims)
@@ -224,6 +241,9 @@ class PlanStats:
     base_cases: int = 0
     interior_base_cases: int = 0
     boundary_base_cases: int = 0
+    #: How many of the interior tasks are compiled-walk subtree tasks
+    #: (each one stands for a whole interior subtree of the recursion).
+    subtree_tasks: int = 0
     seq_nodes: int = 0
     par_nodes: int = 0
     max_par_width: int = 0
@@ -245,6 +265,8 @@ class PlanStats:
         self.base_cases += 1
         vol = region.volume()
         self.points += vol
+        if region.walk is not None:
+            self.subtree_tasks += 1
         if region.interior:
             self.interior_base_cases += 1
         else:

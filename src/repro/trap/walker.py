@@ -62,20 +62,60 @@ class WalkSpec:
         return True
 
 
+#: Threshold sentinel for dimensions the walker must never cut
+#: (protected unit-stride dims).  Large enough that no width exceeds it,
+#: small enough to fit a C ``i64`` argument.
+NEVER_CUT = 1 << 62
+
+#: Compiled-walk grain: an interior zoid is handed to the compiled
+#: walker as one subtree task once every spatial width fits within
+#: ``WALK_GRAIN_SPACE`` coarsening thresholds and its height within
+#: ``WALK_GRAIN_TIME`` time thresholds.  Each subtree then contains up
+#: to ``WALK_GRAIN_SPACE^d * WALK_GRAIN_TIME`` base cases whose cuts and
+#: leaf calls all run below Python — the dispatch reduction the
+#: compiled-walk mode exists for — while zoids above the grain keep
+#: decomposing in Python, so the task DAG still sees enough independent
+#: tasks to feed its workers.  The time grain is deliberately much
+#: taller than the space grain: time cuts are Seq-ordered (little
+#: parallelism to lose by folding them into one task), while the space
+#: grain is what bounds the DAG's independent-task supply (heat2d /
+#: life / psa sweeps at the paper's thresholds: 4x16 matches 8x16 and
+#: 16x32 within noise while keeping the spatial task count of 4x4).
+WALK_GRAIN_SPACE = 4
+WALK_GRAIN_TIME = 16
+
+
 @dataclass(frozen=True)
 class WalkOptions:
-    """Decomposition tuning: coarsening thresholds and cut strategy."""
+    """Decomposition tuning: coarsening thresholds and cut strategy.
+
+    ``compiled_walk`` enables subtree-task planning: interior zoids that
+    fit the walk grain are emitted as single atomic regions carrying
+    their recursion parameters (see :class:`repro.trap.plan.BaseRegion`)
+    instead of being decomposed here.  The driver turns it on only when
+    the backend compiles a ``walk_subtree`` clone.
+    """
 
     dt_threshold: int = 1
     space_thresholds: tuple[int, ...] = ()
     protect_unit_stride: bool = False
     hyperspace: bool = True
+    compiled_walk: bool = False
 
     def protect_flags(self, ndim: int) -> tuple[bool, ...]:
         flags = [False] * ndim
         if self.protect_unit_stride and ndim >= 2:
             flags[ndim - 1] = True
         return tuple(flags)
+
+    def effective_thresholds(self, ndim: int) -> tuple[int, ...]:
+        """Per-dim thresholds with protected dims folded in as
+        :data:`NEVER_CUT` — the form both the compiled walker and the
+        Python subtree fallback consume (one knob fewer to thread)."""
+        return tuple(
+            NEVER_CUT if protect else th
+            for th, protect in zip(self.space_thresholds, self.protect_flags(ndim))
+        )
 
 
 def walk_spec_for(
@@ -104,6 +144,7 @@ def default_options(
     protect_unit_stride: bool | None = None,
     hyperspace: bool = True,
     codegen_mode: str | None = None,
+    compiled_walk: bool = False,
 ) -> WalkOptions:
     """Fill unset knobs with the Section-4 style coarsening heuristics.
 
@@ -127,6 +168,7 @@ def default_options(
         space_thresholds=st,
         protect_unit_stride=bool(protect_unit_stride),
         hyperspace=hyperspace,
+        compiled_walk=bool(compiled_walk),
     )
 
 
@@ -157,6 +199,36 @@ def decompose_events(
     return _events(z, spec, opts, known_interior=False)
 
 
+def _fits_walk_grain(z: Zoid, spec: WalkSpec, opts: WalkOptions) -> bool:
+    """Is ``z`` small enough to hand to the compiled walker whole?
+
+    The subtree must fit the walk grain (a few coarsening thresholds per
+    axis — see :data:`WALK_GRAIN_SPACE`), and no dimension may qualify
+    for a *circular* cut anywhere below it: the compiled walker
+    implements trisection and time cuts only.  An interior zoid can
+    never need a circular cut (a full-circumference extent with nonzero
+    slope always reads off-domain), so the check is a belt-and-braces
+    guard, not a planning constraint.
+    """
+    if z.height > WALK_GRAIN_TIME * max(1, opts.dt_threshold):
+        return False
+    protect = opts.protect_flags(z.ndim)
+    for i in range(z.ndim):
+        if protect[i]:
+            continue
+        if z.width(i) > WALK_GRAIN_SPACE * max(1, opts.space_thresholds[i]):
+            return False
+    for i, (xa, xb, dxa, dxb) in enumerate(z.dims):
+        if (
+            spec.slopes[i] > 0
+            and (xb - xa) == spec.sizes[i]
+            and dxa == 0
+            and dxb == 0
+        ):
+            return False  # pragma: no cover - impossible for interior zoids
+    return True
+
+
 def _events(
     z: Zoid, spec: WalkSpec, opts: WalkOptions, known_interior: bool
 ) -> Iterator[PlanEvent]:
@@ -170,6 +242,33 @@ def _events(
         protect_dims=opts.protect_flags(z.ndim),
         hyperspace=opts.hyperspace,
     )
+    if (
+        decision.kind != "base"
+        and interior
+        and opts.compiled_walk
+        and _fits_walk_grain(z, spec, opts)
+    ):
+        # A whole interior subtree becomes one atomic task; the
+        # recursion below it runs inside the compiled walk clone (or
+        # the Python fallback replays it from these params).  A zoid
+        # that is already a base case stays a plain region — one leaf
+        # call needs no recursion.
+        yield (
+            "base",
+            BaseRegion(
+                ta=z.ta,
+                tb=z.tb,
+                dims=z.dims,
+                interior=True,
+                walk=(
+                    spec.slopes,
+                    opts.effective_thresholds(z.ndim),
+                    opts.dt_threshold,
+                    opts.hyperspace,
+                ),
+            ),
+        )
+        return
     if decision.kind == "base":
         yield ("base", BaseRegion(ta=z.ta, tb=z.tb, dims=z.dims, interior=interior))
         return

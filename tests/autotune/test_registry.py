@@ -315,6 +315,93 @@ class TestTuneOnMiss:
         assert st.cursor is None  # tuning never advances the stencil
 
 
+class TestSchemaMigration:
+    """The schema-2 bump (``compiled_walk`` knob): old files read as
+    empty, new entries round-trip, and the knob actually steers runs."""
+
+    def test_compiled_walk_roundtrips_through_json(self):
+        for cw in (None, True, False):
+            cfg = TunedConfig((8, 8), 2, compiled_walk=cw)
+            assert TunedConfig.from_json(cfg.to_json()).compiled_walk == cw
+
+    def test_compiled_walk_roundtrips_through_store(self):
+        st, u, k, problem = _heat_problem()
+        registry.store(
+            problem, "auto", TunedConfig((12, 12), 3, compiled_walk=False)
+        )
+        got = registry.lookup(problem, "auto")
+        assert got is not None and got.compiled_walk is False
+
+    @pytest.mark.parametrize("bad", ["yes", 0, 1])
+    def test_bad_compiled_walk_rejected(self, bad):
+        """Non-bool values are rejected — including 0/1, which equality
+        checks would admit (0 == False) while the consumer's identity
+        dispatch (`is False`) silently misread them as 'on'."""
+        with pytest.raises(ValueError):
+            TunedConfig.from_json(
+                {
+                    "space_thresholds": [8, 8],
+                    "dt_threshold": 2,
+                    "compiled_walk": bad,
+                }
+            )
+
+    def test_schema1_file_reads_empty_then_rewrites_at_current(
+        self, isolated_registry
+    ):
+        """The migration contract: a pre-bump registry is discarded
+        wholesale (its configs were tuned without the new knob in the
+        search space), and the next store rewrites the file at the
+        current schema."""
+        st, u, k, problem = _heat_problem()
+        registry.store(problem, "auto", TunedConfig((12, 12), 3))
+        doc = json.loads(isolated_registry.read_text())
+        assert doc["schema"] == SCHEMA_VERSION
+        # Rewrite the same entries as a schema-1 file (the pre-bump
+        # layout simply lacked the compiled_walk key).
+        for entry in doc["entries"].values():
+            entry.pop("compiled_walk", None)
+        doc["schema"] = 1
+        isolated_registry.write_text(json.dumps(doc))
+        assert registry.lookup(problem, "auto") is None
+        report = st.run(6, k, autotune="use")
+        assert report.autotune_source == "heuristic"
+        # the next store migrates the file forward
+        registry.store(problem, "auto", TunedConfig((10, 10), 2))
+        doc = json.loads(isolated_registry.read_text())
+        assert doc["schema"] == SCHEMA_VERSION
+        got = registry.lookup(problem, "auto")
+        assert got is not None and got.space_thresholds == (10, 10)
+
+    @pytest.mark.skipif("c" not in ALL_MODES, reason="no C compiler")
+    def test_tuned_compiled_walk_off_steers_the_planner(self):
+        """A stored ``compiled_walk=False`` must reach the walker: the
+        C-mode run plans no subtree tasks, while the default rule (knob
+        unset) plans some on the same problem."""
+        st, u, k = make_heat_problem((32, 32))
+        problem = st.prepare(8, k)
+        cfg = TunedConfig((8, 8), 2, mode="c", compiled_walk=False)
+        registry.store(problem, "c", cfg)
+        report = st.run(8, k, mode="c", autotune="use")
+        assert report.autotune_source == "registry"
+        assert report.subtree_tasks == 0
+
+        st2, u2, k2 = make_heat_problem((32, 32))
+        report2 = st2.run(
+            8, k2, mode="c", space_thresholds=(8, 8), dt_threshold=2
+        )
+        assert report2.subtree_tasks > 0
+
+
+KNOB_PROCESS_SCRIPT = """
+from tests.conftest import make_heat_problem
+st, u, k = make_heat_problem((32, 32))
+report = st.run(8, k, mode="c", autotune="use")
+print("SOURCE=" + report.autotune_source)
+print("SUBTREES=%d" % report.subtree_tasks)
+"""
+
+
 FRESH_PROCESS_SCRIPT = """
 import numpy as np
 from tests.conftest import make_heat_problem
@@ -356,3 +443,37 @@ class TestCrossProcess:
         assert "SOURCE=registry" in proc.stdout, proc.stdout
         line = [l for l in proc.stdout.splitlines() if l.startswith("CHECKSUM=")]
         assert line and float(line[0].split("=")[1]) == pytest.approx(checksum)
+
+    @pytest.mark.skipif("c" not in ALL_MODES, reason="no C compiler")
+    def test_compiled_walk_knob_roundtrips_across_processes(
+        self, isolated_registry
+    ):
+        """The schema-2 acceptance criterion: a config carrying the new
+        ``compiled_walk`` knob, stored here, must load and *steer the
+        planner* in a fresh interpreter."""
+        st, u, k = make_heat_problem((32, 32))
+        problem = st.prepare(8, k)
+        registry.store(
+            problem,
+            "c",
+            TunedConfig((8, 8), 2, mode="c", compiled_walk=False),
+        )
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", KNOB_PROCESS_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SOURCE=registry" in proc.stdout, proc.stdout
+        assert "SUBTREES=0" in proc.stdout, proc.stdout

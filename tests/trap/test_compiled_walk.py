@@ -1,0 +1,337 @@
+"""Compiled-walk subtree tasks: planning, execution, and degradation.
+
+The walker (``WalkOptions.compiled_walk``) plans whole interior
+subtrees as single atomic tasks; ``run_base_region`` executes one
+either through the C ``walk_subtree`` clone (one GIL-released call) or
+through the Python replay of the identical recursion when no walk
+clone exists.  Three properties anchor this suite:
+
+* **Equivalence** — compiled-walk on must be bitwise identical to off,
+  for randomized interior zoids (C walk vs Python replay vs per-step),
+  for every registered app under every executor, and for every heat
+  boundary kind.
+* **Eligibility** — only whole-lifetime-interior zoids are ever
+  delegated: a wrapped (virtual-coordinate) home range or any
+  boundary-touching zoid must keep the per-leaf path, mirroring the
+  decline discipline of ``tests/trap/test_c_leaf_fusion.py``.
+* **Degradation** — without a walk clone (``fuse_leaves=False``, the
+  NumPy backend, or a hidden toolchain) subtree plans still run, via
+  the Python walk, with identical results.
+
+The C-specific tests skip cleanly when no C compiler is present; the
+planning and degradation tests run everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import available_apps, build
+from repro.compiler.pipeline import compile_kernel
+from repro.language.stencil import RunOptions
+from repro.trap.driver import build_events, build_plan
+from repro.trap.executor import run_base_region
+from repro.trap.graph import build_task_graph
+from repro.trap.plan import BaseRegion, iter_base_events, iter_base_serial
+from repro.trap.walker import (
+    NEVER_CUT,
+    WALK_GRAIN_SPACE,
+    WALK_GRAIN_TIME,
+    WalkOptions,
+    WalkSpec,
+    decompose_events,
+)
+from tests.conftest import has_c_backend, make_heat_problem
+
+T_MAX = 8
+
+#: Fixed grids (sizes bake into generated C, so fixing them bounds the
+#: number of distinct compilations the randomized sweep can trigger).
+GRIDS = {1: (16,), 2: (12, 11)}
+
+
+def _fresh_compiled(sizes, boundary="periodic"):
+    stencil, u, kern = make_heat_problem(sizes, boundary=boundary, seed=11)
+    problem = stencil.prepare(T_MAX, kern)
+    return u, compile_kernel(problem, "c")
+
+
+@st.composite
+def _interior_subtrees(draw):
+    """A random whole-lifetime-interior subtree task over a fixed grid.
+
+    Every read of the slope-shifted box stays in-domain at both time
+    endpoints (extents are linear in t, so endpoints suffice), exactly
+    the invariant the planner guarantees before delegating.  Thresholds
+    and the dt threshold are drawn small so the subtree really recurses.
+    """
+    ndim = draw(st.integers(1, 2))
+    sizes = GRIDS[ndim]
+    ta = draw(st.integers(1, 3))
+    h = draw(st.integers(2, 5))
+    dims = []
+    for n in sizes:
+        for _ in range(60):
+            lo = draw(st.integers(1, n - 3))
+            width = draw(st.integers(2, n - 2))
+            dlo = draw(st.integers(-1, 1))
+            dhi = draw(st.integers(-1, 1))
+            hi = lo + width
+            flo, fhi = lo + dlo * (h - 1), hi + dhi * (h - 1)
+            if fhi - flo < 0:
+                continue
+            # Well-defined all the way to the zoid's top time (height h,
+            # one past the last computed slice) — the walker never
+            # produces a zoid whose top length goes negative, and the
+            # cut logic is entitled to assume it.
+            if width + (dhi - dlo) * h < 0:
+                continue
+            if min(lo, flo) >= 1 and max(hi, fhi) <= n - 1:
+                dims.append((lo, hi, dlo, dhi))
+                break
+        else:
+            dims.append((1, 3, 0, 0))
+    th = tuple(draw(st.integers(2, 5)) for _ in sizes)
+    dt_th = draw(st.integers(1, 3))
+    hyper = draw(st.booleans())
+    region = BaseRegion(
+        ta,
+        ta + h,
+        tuple(dims),
+        interior=True,
+        walk=((1,) * ndim, th, dt_th, hyper),
+    )
+    return sizes, region
+
+
+@pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+class TestRandomSubtrees:
+    """The compiled walk vs the Python replay vs per-step execution."""
+
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(_interior_subtrees())
+    def test_walk_clone_matches_python_replay(self, case):
+        sizes, region = case
+        u_c, compiled = _fresh_compiled(sizes)
+        assert compiled.walk is not None
+        run_base_region(region, compiled)
+        got_walk = u_c.data.copy()
+
+        u_py, compiled_py = _fresh_compiled(sizes)
+        from dataclasses import replace
+
+        run_base_region(region, replace(compiled_py, walk=None))
+        assert np.array_equal(got_walk, u_py.data)
+
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(_interior_subtrees())
+    def test_walk_clone_matches_per_step(self, case):
+        sizes, region = case
+        u_c, compiled = _fresh_compiled(sizes)
+        run_base_region(region, compiled)
+        got_walk = u_c.data.copy()
+
+        u_s, compiled_s = _fresh_compiled(sizes)
+        run_base_region(region, compiled_s.without_fused_leaves())
+        assert np.array_equal(got_walk, u_s.data)
+
+
+class TestEligibility:
+    """Only whole-lifetime-interior zoids are ever delegated."""
+
+    def _subtree_regions(self, options, sizes=(24, 24), boundary="periodic"):
+        stencil, u, kern = make_heat_problem(sizes, boundary=boundary)
+        problem = stencil.prepare(12, kern)
+        events = build_events(problem, options)
+        return sizes, list(iter_base_events(events))
+
+    @pytest.mark.parametrize("boundary", ["periodic", "neumann", "dirichlet"])
+    def test_subtrees_are_interior_and_in_domain(self, boundary):
+        """No subtree task may be boundary-classified or carry a wrapped
+        (virtual-coordinate) home range: the compiled walker has no MOD
+        resolution, so delegation of either would read garbage.  This is
+        the compiled-walk counterpart of the NumPy snapshot leaf's
+        wrapped-home-range decline."""
+        options = RunOptions(
+            mode="split_pointer",
+            compiled_walk=True,  # force planning even without C
+            dt_threshold=2,
+            space_thresholds=(6, 6),
+        )
+        sizes, regions = self._subtree_regions(options, boundary=boundary)
+        subtrees = [r for r in regions if r.walk is not None]
+        assert subtrees, "plan produced no subtree tasks to check"
+        for r in subtrees:
+            assert r.interior
+            z = r.zoid()
+            for t in (z.ta, z.tb - 1):
+                for (lo, hi), n in zip(z.bounds_at(t), sizes):
+                    assert 0 <= lo and hi <= n, (
+                        f"subtree home range [{lo},{hi}) leaves the "
+                        f"{n}-wide domain (wrapped/virtual coordinates)"
+                    )
+
+    def test_boundary_regions_never_delegated(self):
+        options = RunOptions(
+            mode="split_pointer",
+            compiled_walk=True,
+            dt_threshold=2,
+            space_thresholds=(6, 6),
+        )
+        _, regions = self._subtree_regions(options)
+        for r in regions:
+            if not r.interior:
+                assert r.walk is None
+
+    def test_compiled_walk_off_emits_no_subtrees(self):
+        options = RunOptions(
+            mode="split_pointer",
+            compiled_walk=False,
+            dt_threshold=2,
+            space_thresholds=(6, 6),
+        )
+        _, regions = self._subtree_regions(options)
+        assert all(r.walk is None for r in regions)
+
+    def test_subtrees_respect_the_walk_grain(self):
+        options = RunOptions(
+            mode="split_pointer",
+            compiled_walk=True,
+            dt_threshold=2,
+            space_thresholds=(6, 6),
+        )
+        _, regions = self._subtree_regions(options)
+        for r in regions:
+            if r.walk is None:
+                continue
+            z = r.zoid()
+            assert z.height <= WALK_GRAIN_TIME * 2
+            for i in range(z.ndim):
+                assert z.width(i) <= WALK_GRAIN_SPACE * 6
+
+    @pytest.mark.parametrize("bad", ["yes", 0, 1, 2])
+    def test_non_bool_knob_rejected(self, bad):
+        """0/1 must be rejected, not coerced: RunOptions validation
+        would pass them under an equality check (0 == False) while
+        resolve_compiled_walk's identity test (`is False`) then forced
+        the walk ON for a caller who asked for it off."""
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            RunOptions(compiled_walk=bad)
+
+    def test_protected_dims_ride_as_never_cut_thresholds(self):
+        opts = WalkOptions(
+            dt_threshold=2,
+            space_thresholds=(4, 4, 8),
+            protect_unit_stride=True,
+            compiled_walk=True,
+        )
+        assert opts.effective_thresholds(3) == (4, 4, NEVER_CUT)
+
+    def test_graph_counts_subtree_tasks(self):
+        stencil, u, kern = make_heat_problem((24, 24))
+        problem = stencil.prepare(12, kern)
+        options = RunOptions(
+            mode="split_pointer",
+            compiled_walk=True,
+            dt_threshold=2,
+            space_thresholds=(6, 6),
+        )
+        graph = build_task_graph(build_events(problem, options))
+        n = sum(1 for r in graph.iter_regions() if r.walk is not None)
+        assert graph.n_subtree_tasks == n > 0
+
+
+class TestDegradation:
+    """Subtree plans execute without a walk clone, bitwise identically."""
+
+    def test_numpy_backend_replays_subtrees_in_python(self):
+        st_ref, u_ref, k_ref = make_heat_problem((32, 32), seed=7)
+        st_ref.run(12, k_ref, mode="split_pointer", compiled_walk=False,
+                   dt_threshold=2, space_thresholds=(8, 8))
+        ref = u_ref.snapshot(st_ref.cursor)
+
+        st_w, u_w, k_w = make_heat_problem((32, 32), seed=7)
+        report = st_w.run(12, k_w, mode="split_pointer", compiled_walk=True,
+                          dt_threshold=2, space_thresholds=(8, 8))
+        assert report.subtree_tasks > 0  # the plan really was coarse
+        assert np.array_equal(u_w.snapshot(st_w.cursor), ref)
+
+    def test_no_cc_degrades_cleanly(self, monkeypatch):
+        """With the toolchain hidden, ``auto`` resolves to split_pointer
+        and the auto rule keeps compiled_walk off — the run must succeed
+        and match the C-planned result bitwise (same points, same
+        arithmetic).  This is the REPRO_NO_CC CI leg's contract."""
+        st_ref, u_ref, k_ref = make_heat_problem((32, 32), seed=9)
+        st_ref.run(10, k_ref, dt_threshold=2)
+        ref = u_ref.snapshot(st_ref.cursor)
+
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        from repro.compiler.pipeline import clear_cache
+
+        clear_cache()
+        try:
+            st_n, u_n, k_n = make_heat_problem((32, 32), seed=9)
+            report = st_n.run(10, k_n, dt_threshold=2)
+            assert report.mode == "split_pointer"
+            assert report.subtree_tasks == 0
+            assert np.array_equal(u_n.snapshot(st_n.cursor), ref)
+        finally:
+            monkeypatch.delenv("REPRO_NO_CC")
+            clear_cache()
+
+    def test_fuse_leaves_off_disables_delegation(self):
+        stencil, u, kern = make_heat_problem((24, 24))
+        problem = stencil.prepare(12, kern)
+        options = RunOptions(
+            mode="split_pointer",
+            compiled_walk=True,
+            fuse_leaves=False,
+            dt_threshold=2,
+            space_thresholds=(6, 6),
+        )
+        plan = build_plan(problem, options)
+        assert all(r.walk is None for r in iter_base_serial(plan))
+
+
+EXECUTORS = ("serial", "threads", "dag")
+
+
+@pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+@pytest.mark.parametrize("name", available_apps())
+def test_all_apps_compiled_walk_equals_per_leaf(name):
+    """Every registered app: compiled-walk plans must reproduce the
+    per-leaf C path bit for bit, under every executor."""
+    ref_app = build(name, "tiny")
+    ref_app.run(dt_threshold=2, mode="c", compiled_walk=False)
+    ref = ref_app.result()
+
+    for executor in EXECUTORS:
+        app = build(name, "tiny")
+        app.run(
+            executor=executor,
+            mode="c",
+            n_workers=None if executor == "serial" else 3,
+            dt_threshold=2,
+        )
+        assert np.array_equal(app.result(), ref), (
+            f"{name}: compiled walk under {executor!r} diverged from the "
+            f"per-leaf C path"
+        )
+
+
+@pytest.mark.skipif(not has_c_backend(), reason="no C compiler")
+@pytest.mark.parametrize("boundary", ["periodic", "neumann", "dirichlet"])
+def test_heat_boundary_kinds_walk_equals_per_leaf(boundary):
+    sizes, T = (29, 23), 12
+    st_w, u_w, k_w = make_heat_problem(sizes, boundary=boundary, seed=5)
+    st_w.run(T, k_w, mode="c", dt_threshold=2, space_thresholds=(5, 5))
+    st_p, u_p, k_p = make_heat_problem(sizes, boundary=boundary, seed=5)
+    st_p.run(T, k_p, mode="c", dt_threshold=2, space_thresholds=(5, 5),
+             compiled_walk=False)
+    assert np.array_equal(
+        u_w.snapshot(st_w.cursor), u_p.snapshot(st_p.cursor)
+    ), f"compiled walk diverged from per-leaf under {boundary}"
