@@ -61,6 +61,7 @@ from repro.language.stencil import RunOptions  # noqa: E402
 from repro.trap.driver import build_plan  # noqa: E402
 from repro.trap.executor import run_base_region  # noqa: E402
 from repro.trap.plan import iter_base_serial  # noqa: E402
+from repro.util import detect_cpu_count  # noqa: E402
 from tests.conftest import make_heat_problem  # noqa: E402
 
 WORKER_COUNTS = (1, 2, 4)
@@ -186,7 +187,7 @@ def measure_dag_workers() -> dict:
     sizes, T = ((96, 96), 24) if is_tiny() else ((768, 768), 96)
     out: dict = {
         "workload": {"app": "heat2d", "grid": list(sizes), "steps": T},
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": detect_cpu_count(),
     }
     counts, note = worker_sweep(WORKER_COUNTS)
     if note:

@@ -56,10 +56,11 @@ def machine_record() -> dict:
     components.
     """
     from repro.compiler.codegen_c import compiler_identity, find_c_compiler
+    from repro.util import detect_cpu_count
 
     cc = find_c_compiler()
     return {
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": detect_cpu_count(),
         "compiler": compiler_identity(cc) if cc else "none",
     }
 
@@ -73,7 +74,9 @@ def worker_sweep(counts: tuple[int, ...]) -> tuple[tuple[int, ...], str | None]:
     Such hosts measure 1 worker only, with a note saying why; every
     benchmark with a sweep shares this policy so the records agree.
     """
-    if (os.cpu_count() or 1) > 1:
+    from repro.util import detect_cpu_count
+
+    if detect_cpu_count() > 1:
         return counts, None
     return (1,), (
         "single-core host: worker sweep limited to 1 worker "

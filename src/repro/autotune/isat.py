@@ -216,6 +216,7 @@ def tune_dispatch(
     fuse_candidates: Sequence[bool] = (True, False),
     worker_candidates: Sequence[int | None] | None = None,
     cwalk_candidates: Sequence[bool | None] = (None, False),
+    wthreads_candidates: Sequence[int | None] | None = None,
     repeats: int = 1,
     max_sweeps: int = 2,
     algorithm: str = "trap",
@@ -227,13 +228,16 @@ def tune_dispatch(
     threshold, ``fuse_leaves``, ``compiled_walk`` (``None`` = the auto
     rule — on for the C backend — vs forced off; subtree-task planning
     shifts the optimum toward finer base cases, so the axis earns its
-    evaluations), and ``n_workers``.  Defaults derive from the
-    backend-aware heuristics (a log grid around each default), and
-    the descent *starts at* the heuristic configuration, so the tuned
-    result can only match or beat it on the tuning workload.
-    ``algorithm`` selects the walk algorithm every candidate is timed
-    under — a config destined for STRAP runs must be tuned by timing
-    STRAP, not TRAP.
+    evaluations), ``walk_threads`` (``None`` = auto: the detected core
+    count for the compiled walk's in-.so pthread pool, vs pinned serial —
+    in-walk threads compete with DAG workers for the same cores, so the
+    right split is workload-dependent and worth measuring), and
+    ``n_workers``.  Defaults derive from the backend-aware heuristics
+    (a log grid around each default), and the descent *starts at* the
+    heuristic configuration, so the tuned result can only match or beat
+    it on the tuning workload.  ``algorithm`` selects the walk algorithm
+    every candidate is timed under — a config destined for STRAP runs
+    must be tuned by timing STRAP, not TRAP.
     """
     from repro.compiler.pipeline import available_modes, resolve_mode
     from repro.trap.coarsening import (
@@ -274,10 +278,19 @@ def tune_dispatch(
     start["fuse"] = fuse_candidates[0]
     axes.append(("cwalk", tuple(cwalk_candidates)))
     start["cwalk"] = cwalk_candidates[0]
-    if worker_candidates is None:
-        import os
+    if wthreads_candidates is None:
+        # None = auto (detected core count), 1 = pinned serial walk; on
+        # multi-core hosts both deserve a timing, on single-core they
+        # coincide so one candidate suffices.
+        from repro.util import detect_cpu_count
 
-        cpus = os.cpu_count() or 1
+        wthreads_candidates = (None, 1) if detect_cpu_count() > 1 else (None,)
+    axes.append(("wthreads", tuple(wthreads_candidates)))
+    start["wthreads"] = wthreads_candidates[0]
+    if worker_candidates is None:
+        from repro.util import detect_cpu_count
+
+        cpus = detect_cpu_count()
         worker_candidates = tuple(sorted({1, min(4, cpus), cpus}))
     axes.append(("workers", tuple(worker_candidates)))
     start["workers"] = worker_candidates[0]
@@ -293,6 +306,7 @@ def tune_dispatch(
             fuse_leaves=cfg["fuse"],
             n_workers=cfg["workers"],
             compiled_walk=cfg["cwalk"],
+            walk_threads=cfg["wthreads"],
         )
 
     def run_point(key: tuple) -> float:
@@ -308,6 +322,7 @@ def tune_dispatch(
                 fuse_leaves=config.fuse_leaves,
                 n_workers=config.n_workers,
                 compiled_walk=config.compiled_walk,
+                walk_threads=config.walk_threads,
                 collect_stats=False,
                 autotune="off",
             )

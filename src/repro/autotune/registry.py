@@ -51,11 +51,12 @@ from typing import Any
 #: wholesale (stale tunings are worthless, silently misreading them is
 #: worse).  History: 1 — original dispatch space; 2 — ``compiled_walk``
 #: knob added (subtree-task planning over the compiled interior
-#: recursion).  There is no in-place migration: a schema-1 file reads as
-#: empty and the next tune-on-miss rewrites it at the current version —
-#: re-tuning is cheap, misapplying a config tuned without the new knob
-#: is not.
-SCHEMA_VERSION = 2
+#: recursion); 3 — ``walk_threads`` knob added (the in-.so pthread pool
+#: of the parallel compiled walk).  There is no in-place migration: a
+#: pre-bump file reads as empty and the next tune-on-miss rewrites it at
+#: the current version — re-tuning is cheap, misapplying a config tuned
+#: without the new knob is not.
+SCHEMA_VERSION = 3
 
 _REGISTRY_LOCK = threading.Lock()
 
@@ -66,10 +67,12 @@ class TunedConfig:
     ISAT search covers, not just the two coarsening thresholds.
 
     ``mode`` is a concrete codegen mode (or ``"auto"`` meaning "no
-    preference"); ``n_workers`` ``None`` keeps the run's default, and
+    preference"); ``n_workers`` ``None`` keeps the run's default,
     ``compiled_walk`` ``None`` keeps the run's auto rule (on for the C
-    backend).  ``best_time``/``evaluations``/``tuned_unix_time`` are
-    provenance for inspection, not applied to runs.
+    backend), and ``walk_threads`` ``None`` keeps the run's auto rule
+    (detected core count).  ``best_time``/``evaluations``/
+    ``tuned_unix_time`` are provenance for inspection, not applied to
+    runs.
     """
 
     space_thresholds: tuple[int, ...]
@@ -78,6 +81,7 @@ class TunedConfig:
     fuse_leaves: bool = True
     n_workers: int | None = None
     compiled_walk: bool | None = None
+    walk_threads: int | None = None
     best_time: float = 0.0
     evaluations: int = 0
     tuned_unix_time: float = 0.0
@@ -113,6 +117,11 @@ class TunedConfig:
         # `is False`/`is None` dispatch would misread as "on".
         if cwalk is not None and not isinstance(cwalk, bool):
             raise ValueError(f"bad compiled_walk {cwalk!r}")
+        wthreads = obj.get("walk_threads")
+        if wthreads is not None:
+            wthreads = int(wthreads)
+            if wthreads < 1:
+                raise ValueError(f"bad walk_threads {wthreads}")
         return TunedConfig(
             space_thresholds=space,
             dt_threshold=dt,
@@ -120,6 +129,7 @@ class TunedConfig:
             fuse_leaves=bool(obj.get("fuse_leaves", True)),
             n_workers=workers,
             compiled_walk=cwalk,
+            walk_threads=wthreads,
             best_time=float(obj.get("best_time", 0.0)),
             evaluations=int(obj.get("evaluations", 0)),
             tuned_unix_time=float(obj.get("tuned_unix_time", 0.0)),
@@ -135,17 +145,22 @@ def registry_path() -> Path:
 
 
 def machine_fingerprint() -> str:
-    """CPU count + C toolchain identity: the "target" half of the key.
+    """Available CPU count + C toolchain identity: the "target" half of
+    the key.
 
-    A missing compiler is itself part of the identity (``cc:none``), so
-    a config tuned with the C backend available is never applied on a
-    machine where ``"c"`` would fail to compile.
+    The CPU count is affinity/cgroup-aware (:func:`detect_cpu_count`):
+    a config tuned inside a 2-CPU container must not serve the same
+    image granted 32 CPUs, even on identical hardware.  A missing
+    compiler is itself part of the identity (``cc:none``), so a config
+    tuned with the C backend available is never applied on a machine
+    where ``"c"`` would fail to compile.
     """
     from repro.compiler.codegen_c import compiler_identity, find_c_compiler
+    from repro.util import detect_cpu_count
 
     cc = find_c_compiler()
     cc_id = compiler_identity(cc) if cc else "none"
-    return f"cpu{os.cpu_count() or 1}|cc:{cc_id}"
+    return f"cpu{detect_cpu_count()}|cc:{cc_id}"
 
 
 def problem_signature(problem) -> str:

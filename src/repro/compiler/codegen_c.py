@@ -443,13 +443,14 @@ def _walk_fn_source(ir: KernelIR) -> str:
         + [f"dxb[{i}]" for i in range(d)]
     )
     lines = [
-        f"static void walk_rec({pa}, i64 ta, i64 tb,",
-        "    const i64* xa, const i64* xb, const i64* dxa, const i64* dxb,",
-        "    const i64* sl, const i64* th, i64 dt_th, i64 hyper) {",
-        f"  const i64 h = tb - ta;",
-        f"  i64 pxa[{d}][3], pxb[{d}][3], pdxa[{d}][3], pdxb[{d}][3];",
-        f"  i64 pbit[{d}][3];",
-        f"  i64 np[{d}];",
+        "/* Per-dimension trisection cuts: fills the piece lists (np,",
+        "   pxa..pbit) and returns whether anything cut.  Shared by the",
+        "   serial walk_rec and the parallel walk_rec_par so the two",
+        "   recursions can never disagree about the decomposition. */",
+        "static int walk_cuts(i64 h, const i64* xa, const i64* xb,",
+        "    const i64* dxa, const i64* dxb, const i64* sl, const i64* th,",
+        "    i64 hyper, i64* np, i64 (*pxa)[3], i64 (*pxb)[3],",
+        "    i64 (*pdxa)[3], i64 (*pdxb)[3], i64 (*pbit)[3]) {",
         "  int cut = 0;",
         f"  for (int i = 0; i < {d}; ++i) {{",
         "    np[i] = 0;",
@@ -499,7 +500,40 @@ def _walk_fn_source(ir: KernelIR) -> str:
         "      np[i] = 3; cut = 1;",
         "    }",
         "  }",
-        "  if (cut) {",
+        "  return cut;",
+        "}",
+        "",
+        "/* Materialize one piece of the cut product (the odometer's idx)",
+        "   into cxa..cdxb; returns 0 for empty degenerate pieces",
+        "   (zero-point subzoids), which both walkers skip. */",
+        "static int walk_piece(i64 h, const i64* xa, const i64* xb,",
+        "    const i64* dxa, const i64* dxb, const i64* np, const i64* idx,",
+        "    i64 (*pxa)[3], i64 (*pxb)[3], i64 (*pdxa)[3], i64 (*pdxb)[3],",
+        "    i64* cxa, i64* cxb, i64* cdxa, i64* cdxb) {",
+        f"  for (int i = 0; i < {d}; ++i) {{",
+        "    if (np[i] > 0) {",
+        "      cxa[i] = pxa[i][idx[i]]; cxb[i] = pxb[i][idx[i]];",
+        "      cdxa[i] = pdxa[i][idx[i]]; cdxb[i] = pdxb[i][idx[i]];",
+        "    } else {",
+        "      cxa[i] = xa[i]; cxb[i] = xb[i];",
+        "      cdxa[i] = dxa[i]; cdxb[i] = dxb[i];",
+        "    }",
+        "    const i64 b = cxb[i] - cxa[i];",
+        "    const i64 t = b + (cdxb[i] - cdxa[i]) * h;",
+        "    if (b < 0 || t < 0 || (b <= 0 && t <= 0)) return 0;",
+        "  }",
+        "  return 1;",
+        "}",
+        "",
+        f"static void walk_rec({pa}, i64 ta, i64 tb,",
+        "    const i64* xa, const i64* xb, const i64* dxa, const i64* dxb,",
+        "    const i64* sl, const i64* th, i64 dt_th, i64 hyper) {",
+        "  const i64 h = tb - ta;",
+        f"  i64 pxa[{d}][3], pxb[{d}][3], pdxa[{d}][3], pdxb[{d}][3];",
+        f"  i64 pbit[{d}][3];",
+        f"  i64 np[{d}];",
+        "  if (walk_cuts(h, xa, xb, dxa, dxb, sl, th, hyper,",
+        "                np, pxa, pxb, pdxa, pdxb, pbit)) {",
         "    /* hyperspace cut: enumerate the piece product, levels in",
         "       sequence (Lemma 1's dependency levels), depth-first. */",
         f"    i64 cxa[{d}], cxb[{d}], cdxa[{d}], cdxb[{d}];",
@@ -510,25 +544,11 @@ def _walk_fn_source(ir: KernelIR) -> str:
         "        i64 bits = 0;",
         f"        for (int i = 0; i < {d}; ++i)",
         "          if (np[i] > 0) bits += pbit[i][idx[i]];",
-        "        if (bits == level) {",
-        "          int ok = 1;",
-        f"          for (int i = 0; i < {d}; ++i) {{",
-        "            if (np[i] > 0) {",
-        "              cxa[i] = pxa[i][idx[i]]; cxb[i] = pxb[i][idx[i]];",
-        "              cdxa[i] = pdxa[i][idx[i]]; cdxb[i] = pdxb[i][idx[i]];",
-        "            } else {",
-        "              cxa[i] = xa[i]; cxb[i] = xb[i];",
-        "              cdxa[i] = dxa[i]; cdxb[i] = dxb[i];",
-        "            }",
-        "            const i64 b = cxb[i] - cxa[i];",
-        "            const i64 t = b + (cdxb[i] - cdxa[i]) * h;",
-        "            /* skip empty degenerate pieces (zero-point subzoids) */",
-        "            if (b < 0 || t < 0 || (b <= 0 && t <= 0)) { ok = 0; break; }",
-        "          }",
-        "          if (ok)",
-        f"            walk_rec({pn}, ta, tb, cxa, cxb, cdxa, cdxb,",
-        "                     sl, th, dt_th, hyper);",
-        "        }",
+        "        if (bits == level &&",
+        "            walk_piece(h, xa, xb, dxa, dxb, np, idx,",
+        "                       pxa, pxb, pdxa, pdxb, cxa, cxb, cdxa, cdxb))",
+        f"          walk_rec({pn}, ta, tb, cxa, cxb, cdxa, cdxb,",
+        "                   sl, th, dt_th, hyper);",
         "        /* odometer over the cut dimensions */",
         "        int carry = 1;",
         f"        for (int i = 0; i < {d} && carry; ++i) {{",
@@ -581,15 +601,318 @@ def _walk_fn_source(ir: KernelIR) -> str:
     return "\n".join(lines)
 
 
-def generate_c_source(ir: KernelIR, *, include_boundary: bool = True) -> str:
+def _walk_par_source(ir: KernelIR) -> str:
+    """The parallel compiled recursion: ``walk_subtree_par`` + its pool.
+
+    A shared-deque pthread task pool lives inside the generated ``.so``:
+    ``walk_rec_par`` reuses ``walk_cuts``/``walk_piece`` (the exact
+    integer logic of the serial walk), collects each hyperspace level's
+    valid pieces, spawns all but the last as tasks (Lemma 1 guarantees
+    same-level pieces are independent), runs the last inline, and joins
+    at the level barrier before the next level starts.  The join *helps*:
+    while its own pieces are outstanding it pops and runs any queued task
+    — every queued task is same-level-independent ready work — so the
+    barrier can never deadlock even with a single worker thread.
+
+    All task state is carved from one preallocated static arena
+    (``wq_ring``): bounds are copied by value into fixed slots, the
+    shared per-call pointers/knobs live in a ``wjob`` on the caller's
+    stack, and per-level join counters live on the spawning frame (safe:
+    every spawn is joined before the frame returns).  No heap allocation
+    happens anywhere on the parallel path.  When the ring is full a
+    spawn degrades to running the piece inline.
+
+    Scheduling freedom cannot change results: each grid point is written
+    exactly once, by exactly one task, from neighbors the level barriers
+    have already completed, and the FP instruction sequence inside each
+    fused leaf is byte-for-byte the serial clone's — so the parallel
+    walk is bitwise identical to the serial walk.
+
+    Pool workers are created lazily by ``wq_ensure_pool`` (detached,
+    process-lifetime).  If thread creation fails — or the test hook
+    ``REPRO_WALK_POOL_FAIL`` is set — ``walk_subtree_par`` falls back to
+    the serial ``walk_rec``, bit for bit.  The caller-visible counters
+    (spawned/stolen/level barriers) are flushed once per call into an
+    optional ``i64[3]`` stats buffer with atomic adds, so concurrent
+    DAG workers can share one buffer.
+    """
+    d = ir.ndim
+    ptr_args = _ptr_args(ir)
+    ptr_names = _ptr_names(ir)
+    pa = ", ".join(ptr_args)
+    pn = ", ".join(ptr_names)
+    max_combos = 3**d
+    field_decls = [f"  double* D_{info.name};" for info in ir.array_infos]
+    field_decls += [f"  const double* C_{c};" for c in sorted(ir.const_arrays)]
+    jp = ", ".join(f"job->{n}" for n in ptr_names)
+    leaf_call = ", ".join(
+        [jp, "ta", "tb"]
+        + [f"xa[{i}]" for i in range(d)]
+        + [f"xb[{i}]" for i in range(d)]
+        + [f"dxa[{i}]" for i in range(d)]
+        + [f"dxb[{i}]" for i in range(d)]
+    )
+    lines = [
+        "/* ---- parallel walk: shared-deque pthread task pool ---- */",
+        "#include <pthread.h>",
+        "#include <stdlib.h>",
+        "",
+        "#define WQ_CAP 512",
+        "#define WQ_MAX_WORKERS 64",
+        "",
+        "/* Per-call shared state: data pointers and tuning knobs.  Lives",
+        "   on the walk_subtree_par stack frame; tasks point back at it. */",
+        "typedef struct wjob {",
+        *field_decls,
+        f"  i64 sl[{d}], th[{d}];",
+        "  i64 dt_th, hyper;",
+        "  i64 spawned, stolen, barriers;  /* guarded by wq_mu */",
+        "} wjob;",
+        "",
+        "/* One spawned black piece: bounds by value, job by pointer.",
+        "   sync is the spawning frame's level-barrier counter. */",
+        "typedef struct {",
+        "  wjob* job;",
+        "  i64* sync;",
+        "  i64 ta, tb;",
+        f"  i64 xa[{d}], xb[{d}], dxa[{d}], dxb[{d}];",
+        "} wtask;",
+        "",
+        "static pthread_mutex_t wq_mu = PTHREAD_MUTEX_INITIALIZER;",
+        "static pthread_cond_t wq_work_cv = PTHREAD_COND_INITIALIZER;",
+        "static pthread_cond_t wq_done_cv = PTHREAD_COND_INITIALIZER;",
+        "/* The preallocated task arena: a fixed ring of value slots; no",
+        "   per-task allocation ever happens on the parallel path. */",
+        "static wtask wq_ring[WQ_CAP];",
+        "static i64 wq_head = 0, wq_tail = 0;  /* monotonic; index % WQ_CAP */",
+        "static int wq_workers = 0;",
+        "static int wq_failed = 0;",
+        "",
+        "static void walk_rec_par(wjob* job, i64 ta, i64 tb,",
+        "    const i64* xa, const i64* xb, const i64* dxa, const i64* dxb);",
+        "",
+        "static void wq_run_task(wtask t, int stolen) {",
+        "  walk_rec_par(t.job, t.ta, t.tb, t.xa, t.xb, t.dxa, t.dxb);",
+        "  pthread_mutex_lock(&wq_mu);",
+        "  *t.sync -= 1;",
+        "  if (stolen) t.job->stolen += 1;",
+        "  pthread_cond_broadcast(&wq_done_cv);",
+        "  pthread_mutex_unlock(&wq_mu);",
+        "}",
+        "",
+        "static void* wq_worker(void* arg) {",
+        "  (void)arg;",
+        "  for (;;) {",
+        "    pthread_mutex_lock(&wq_mu);",
+        "    while (wq_head == wq_tail)",
+        "      pthread_cond_wait(&wq_work_cv, &wq_mu);",
+        "    wtask t = wq_ring[wq_head % WQ_CAP];",
+        "    wq_head += 1;",
+        "    pthread_mutex_unlock(&wq_mu);",
+        "    wq_run_task(t, 1);",
+        "  }",
+        "  return 0;",
+        "}",
+        "",
+        "/* Enqueue one piece; returns 0 when the arena is full (the",
+        "   caller then runs the piece inline — graceful, not an error). */",
+        "static int wq_spawn(wjob* job, i64 ta, i64 tb, const i64* cxa,",
+        "    const i64* cxb, const i64* cdxa, const i64* cdxb, i64* sync) {",
+        "  pthread_mutex_lock(&wq_mu);",
+        "  if (wq_tail - wq_head >= WQ_CAP) {",
+        "    pthread_mutex_unlock(&wq_mu);",
+        "    return 0;",
+        "  }",
+        "  wtask* t = &wq_ring[wq_tail % WQ_CAP];",
+        "  t->job = job; t->sync = sync; t->ta = ta; t->tb = tb;",
+        f"  for (int i = 0; i < {d}; ++i) {{",
+        "    t->xa[i] = cxa[i]; t->xb[i] = cxb[i];",
+        "    t->dxa[i] = cdxa[i]; t->dxb[i] = cdxb[i];",
+        "  }",
+        "  *sync += 1;",
+        "  job->spawned += 1;",
+        "  wq_tail += 1;",
+        "  pthread_cond_signal(&wq_work_cv);",
+        "  pthread_mutex_unlock(&wq_mu);",
+        "  return 1;",
+        "}",
+        "",
+        "/* The level barrier.  Help-first: while this level's pieces are",
+        "   outstanding, pop and run any queued task instead of blocking —",
+        "   every queued task is independent ready work (Lemma 1), so the",
+        "   join cannot deadlock even with zero idle workers. */",
+        "static void wq_join(wjob* job, i64* sync) {",
+        "  pthread_mutex_lock(&wq_mu);",
+        "  job->barriers += 1;",
+        "  while (*sync > 0) {",
+        "    if (wq_head != wq_tail) {",
+        "      wtask t = wq_ring[wq_head % WQ_CAP];",
+        "      wq_head += 1;",
+        "      pthread_mutex_unlock(&wq_mu);",
+        "      wq_run_task(t, 0);",
+        "      pthread_mutex_lock(&wq_mu);",
+        "    } else {",
+        "      pthread_cond_wait(&wq_done_cv, &wq_mu);",
+        "    }",
+        "  }",
+        "  pthread_mutex_unlock(&wq_mu);",
+        "}",
+        "",
+        "/* Lazily grow the pool to nthreads-1 detached workers; returns",
+        "   the live worker count (0 => caller must run serially).  The",
+        "   REPRO_WALK_POOL_FAIL env hook forces the failure path so the",
+        "   serial-fallback contract stays testable on any host. */",
+        "static i64 wq_ensure_pool(i64 nthreads) {",
+        "  if (nthreads <= 1) return 0;",
+        '  if (getenv("REPRO_WALK_POOL_FAIL")) return 0;',
+        "  i64 want = nthreads - 1;",
+        "  if (want > WQ_MAX_WORKERS) want = WQ_MAX_WORKERS;",
+        "  pthread_mutex_lock(&wq_mu);",
+        "  while (!wq_failed && wq_workers < want) {",
+        "    pthread_t th;",
+        "    if (pthread_create(&th, 0, wq_worker, 0) != 0) {",
+        "      if (wq_workers == 0) wq_failed = 1;",
+        "      break;",
+        "    }",
+        "    pthread_detach(th);",
+        "    wq_workers += 1;",
+        "  }",
+        "  i64 live = wq_workers;",
+        "  pthread_mutex_unlock(&wq_mu);",
+        "  return live;",
+        "}",
+        "",
+        "static void walk_rec_par(wjob* job, i64 ta, i64 tb,",
+        "    const i64* xa, const i64* xb, const i64* dxa, const i64* dxb) {",
+        "  const i64 h = tb - ta;",
+        f"  i64 pxa[{d}][3], pxb[{d}][3], pdxa[{d}][3], pdxb[{d}][3];",
+        f"  i64 pbit[{d}][3];",
+        f"  i64 np[{d}];",
+        "  if (walk_cuts(h, xa, xb, dxa, dxb, job->sl, job->th, job->hyper,",
+        "                np, pxa, pxb, pdxa, pdxb, pbit)) {",
+        f"    i64 cxa[{d}], cxb[{d}], cdxa[{d}], cdxb[{d}];",
+        f"    i64 idx[{d}];",
+        f"    i64 combos[{max_combos}][{d}];",
+        f"    for (i64 level = 0; level <= {d}; ++level) {{",
+        "      /* collect this level's valid pieces ... */",
+        "      i64 ncombo = 0;",
+        f"      for (int i = 0; i < {d}; ++i) idx[i] = 0;",
+        "      for (;;) {",
+        "        i64 bits = 0;",
+        f"        for (int i = 0; i < {d}; ++i)",
+        "          if (np[i] > 0) bits += pbit[i][idx[i]];",
+        "        if (bits == level &&",
+        "            walk_piece(h, xa, xb, dxa, dxb, np, idx,",
+        "                       pxa, pxb, pdxa, pdxb, cxa, cxb, cdxa, cdxb)) {",
+        f"          for (int i = 0; i < {d}; ++i) combos[ncombo][i] = idx[i];",
+        "          ncombo += 1;",
+        "        }",
+        "        int carry = 1;",
+        f"        for (int i = 0; i < {d} && carry; ++i) {{",
+        "          if (np[i] == 0) continue;",
+        "          if (++idx[i] < np[i]) carry = 0; else idx[i] = 0;",
+        "        }",
+        "        if (carry) break;",
+        "      }",
+        "      if (ncombo == 0) continue;",
+        "      /* ... spawn all but the last, run the last inline, and",
+        "         join at the level barrier (Lemma 1 independence). */",
+        "      i64 sync = 0;",
+        "      i64 spawned_here = 0;",
+        "      for (i64 c = 0; c + 1 < ncombo; ++c) {",
+        "        (void)walk_piece(h, xa, xb, dxa, dxb, np, combos[c],",
+        "                         pxa, pxb, pdxa, pdxb, cxa, cxb, cdxa, cdxb);",
+        "        if (wq_spawn(job, ta, tb, cxa, cxb, cdxa, cdxb, &sync))",
+        "          spawned_here += 1;",
+        "        else",
+        "          walk_rec_par(job, ta, tb, cxa, cxb, cdxa, cdxb);",
+        "      }",
+        "      (void)walk_piece(h, xa, xb, dxa, dxb, np, combos[ncombo - 1],",
+        "                       pxa, pxb, pdxa, pdxb, cxa, cxb, cdxa, cdxb);",
+        "      walk_rec_par(job, ta, tb, cxa, cxb, cdxa, cdxb);",
+        "      if (spawned_here > 0) wq_join(job, &sync);",
+        "    }",
+        "    return;",
+        "  }",
+        "  if (h > job->dt_th && h >= 2) {",
+        "    /* time cut: strictly sequential halves, same as the serial walk */",
+        "    const i64 tm = ta + h / 2;",
+        "    walk_rec_par(job, ta, tm, xa, xb, dxa, dxb);",
+        f"    i64 nxa[{d}], nxb[{d}];",
+        "    const i64 s = tm - ta;",
+        f"    for (int i = 0; i < {d}; ++i) {{",
+        "      nxa[i] = xa[i] + dxa[i] * s; nxb[i] = xb[i] + dxb[i] * s;",
+        "    }",
+        "    walk_rec_par(job, tm, tb, nxa, nxb, dxa, dxb);",
+        "    return;",
+        "  }",
+        f"  leaf({leaf_call});",
+        "}",
+    ]
+    # The exported entry point mirrors walk_subtree plus nthreads and an
+    # optional i64[3] stats buffer (spawned, stolen, level barriers).
+    args = _ptr_args(ir) + ["i64 ta", "i64 tb"]
+    for prefix in ("l", "h", "dl", "dh", "s", "th"):
+        args += [f"i64 {prefix}{i}" for i in range(d)]
+    args += ["i64 dt_th", "i64 hyper", "i64 nthreads", "i64* restrict wstats"]
+    pack = []
+    for name, prefix in (
+        ("xa", "l"),
+        ("xb", "h"),
+        ("dxa", "dl"),
+        ("dxb", "dh"),
+        ("sl", "s"),
+        ("thr", "th"),
+    ):
+        init = ", ".join(f"{prefix}{i}" for i in range(d))
+        pack.append(f"  i64 {name}[{d}] = {{{init}}};")
+    job_fill = [f"  job.{n} = {n};" for n in ptr_names]
+    lines += [
+        "",
+        f"void walk_subtree_par({', '.join(args)}) {{",
+        *pack,
+        "  if (wq_ensure_pool(nthreads) <= 0) {",
+        "    /* nthreads<=1, pool-init failure, or the test hook: the",
+        "       serial clone, bit for bit */",
+        f"    walk_rec({pn}, ta, tb, xa, xb, dxa, dxb, sl, thr, dt_th, hyper);",
+        "    return;",
+        "  }",
+        "  wjob job;",
+        *job_fill,
+        f"  for (int i = 0; i < {d}; ++i) {{ job.sl[i] = sl[i]; job.th[i] = thr[i]; }}",
+        "  job.dt_th = dt_th; job.hyper = hyper;",
+        "  job.spawned = 0; job.stolen = 0; job.barriers = 0;",
+        "  walk_rec_par(&job, ta, tb, xa, xb, dxa, dxb);",
+        "  /* All spawns joined: counters are final (the joins' mutex",
+        "     hand-offs order every worker write before these reads). */",
+        "  if (wstats) {",
+        "    __atomic_fetch_add(&wstats[0], job.spawned, __ATOMIC_RELAXED);",
+        "    __atomic_fetch_add(&wstats[1], job.stolen, __ATOMIC_RELAXED);",
+        "    __atomic_fetch_add(&wstats[2], job.barriers, __ATOMIC_RELAXED);",
+        "  }",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def generate_c_source(
+    ir: KernelIR,
+    *,
+    include_boundary: bool = True,
+    include_parallel: bool = False,
+) -> str:
     """The full postsource: prelude, per-step and fused clone pairs, and
-    the compiled interior recursion (``walk_subtree``)."""
+    the compiled interior recursion (``walk_subtree``), plus — when
+    ``include_parallel`` — the pthread task pool and
+    ``walk_subtree_par``."""
     parts = [
         _PRELUDE,
         _fn_source(ir, boundary_mode=False),
         _leaf_fn_source(ir, boundary_mode=False),
         _walk_fn_source(ir),
     ]
+    if include_parallel:
+        parts.append(_walk_par_source(ir))
     if include_boundary:
         parts.append(_fn_source(ir, boundary_mode=True))
         parts.append(_leaf_fn_source(ir, boundary_mode=True))
@@ -621,20 +944,28 @@ def _cache_dir() -> Path:
 _CFLAGS = ("-O2", "-ffp-contract=off", "-fno-math-errno", "-fPIC", "-shared")
 
 
-def build_shared_object(source: str, *, force: bool = False) -> Path:
+#: Extra flags for sources embedding the pthread task pool.  Folded into
+#: the cache digest through the same mechanism as _CFLAGS.
+_PTHREAD_FLAGS = ("-pthread",)
+
+
+def build_shared_object(
+    source: str, *, force: bool = False, extra_flags: tuple[str, ...] = ()
+) -> Path:
     """Compile C source to a cached shared object; return its path.
 
-    The cache key hashes the source, the compile flags *and*
-    :func:`compiler_identity`, so a toolchain upgrade (or flag change)
-    compiles afresh instead of loading the old object.  ``force``
-    recompiles even when a cached object exists (the load-failure
-    eviction path).
+    The cache key hashes the source, the compile flags (base *and*
+    extras) *and* :func:`compiler_identity`, so a toolchain upgrade (or
+    flag change) compiles afresh instead of loading the old object.
+    ``force`` recompiles even when a cached object exists (the
+    load-failure eviction path).
     """
     cc = find_c_compiler()
     if cc is None:
         raise CompileError("no C compiler found (tried $CC, cc, gcc, clang)")
+    flags = _CFLAGS + tuple(extra_flags)
     digest = hashlib.sha256(
-        f"{compiler_identity(cc)}\n{' '.join(_CFLAGS)}\n{source}".encode()
+        f"{compiler_identity(cc)}\n{' '.join(flags)}\n{source}".encode()
     ).hexdigest()[:24]
     cache = _cache_dir()
     so_path = cache / f"kernel_{digest}.so"
@@ -643,7 +974,7 @@ def build_shared_object(source: str, *, force: bool = False) -> Path:
     c_path = cache / f"kernel_{digest}.c"
     c_path.write_text(source)
     tmp_so = cache / f"kernel_{digest}.{os.getpid()}.tmp.so"
-    cmd = [cc, *_CFLAGS, "-o", str(tmp_so), str(c_path), "-lm"]
+    cmd = [cc, *flags, "-o", str(tmp_so), str(c_path), "-lm"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         raise CompileError(
@@ -653,7 +984,9 @@ def build_shared_object(source: str, *, force: bool = False) -> Path:
     return so_path
 
 
-def load_shared_object(source: str) -> ctypes.CDLL:
+def load_shared_object(
+    source: str, *, extra_flags: tuple[str, ...] = ()
+) -> ctypes.CDLL:
     """Build (or reuse) and load the shared object for ``source``.
 
     A cached object that fails to load — truncated write from a killed
@@ -661,7 +994,7 @@ def load_shared_object(source: str) -> ctypes.CDLL:
     shared cache dir — is *evicted* and rebuilt once, instead of pinning
     the cache in a permanently broken state.
     """
-    so_path = build_shared_object(source)
+    so_path = build_shared_object(source, extra_flags=extra_flags)
     try:
         return ctypes.CDLL(str(so_path))
     except OSError:
@@ -669,12 +1002,16 @@ def load_shared_object(source: str) -> ctypes.CDLL:
             so_path.unlink()
         except OSError:
             pass
-        return ctypes.CDLL(str(build_shared_object(source, force=True)))
+        return ctypes.CDLL(
+            str(build_shared_object(source, force=True, extra_flags=extra_flags))
+        )
 
 
 #: The compiled-walk entry point: (ta, tb, lo, hi, dlo, dhi, slopes,
 #: thresholds, dt_threshold, hyperspace) — one call runs a whole
-#: interior subtree of the recursion with the GIL released.
+#: interior subtree of the recursion with the GIL released.  The
+#: parallel variant additionally takes a thread count:
+#: (..., hyperspace, nthreads).
 WalkFn = Callable[..., None]
 
 
@@ -687,7 +1024,12 @@ class CClones:
     substitutes the per-point Python boundary clone and per-step
     fallback, same as the NumPy backend.  ``walk`` (the compiled
     interior recursion) exists regardless: it only ever touches interior
-    zoids, which no boundary kind can reach.
+    zoids, which no boundary kind can reach.  ``walk_par`` is the
+    pthread-pool variant; it is None when the parallel source fails to
+    build (e.g. a toolchain without pthread support), in which case
+    everything degrades to the serial walk.  ``walk_stats`` is the
+    shared ``i64[3]`` counter buffer (spawned, stolen, level barriers)
+    the parallel walk accumulates into with atomic adds.
     """
 
     interior: CloneFn
@@ -696,6 +1038,8 @@ class CClones:
     leaf_boundary: LeafFn | None
     walk: WalkFn
     source: str
+    walk_par: WalkFn | None = None
+    walk_stats: np.ndarray | None = None
 
 
 def make_c_clones(ir: KernelIR) -> CClones:
@@ -711,8 +1055,19 @@ def make_c_clones(ir: KernelIR) -> CClones:
     boundary_ok = all(
         is_vectorizable_boundary(a.boundary) for a in ir.arrays.values()
     )
-    source = generate_c_source(ir, include_boundary=boundary_ok)
-    lib = load_shared_object(source)
+    # Prefer the source with the embedded pthread pool; if it fails to
+    # build (a toolchain without working pthreads), fall back to the
+    # serial-only source so the five existing clones survive unchanged.
+    source = generate_c_source(
+        ir, include_boundary=boundary_ok, include_parallel=True
+    )
+    try:
+        lib = load_shared_object(source, extra_flags=_PTHREAD_FLAGS)
+        has_parallel = True
+    except CompileError:
+        source = generate_c_source(ir, include_boundary=boundary_ok)
+        lib = load_shared_object(source)
+        has_parallel = False
 
     d = ir.ndim
     n_ptr_args = len(ir.array_infos) + len(ir.const_arrays)
@@ -720,6 +1075,11 @@ def make_c_clones(ir: KernelIR) -> CClones:
     step_argtypes = ptr_types + [ctypes.c_longlong] * (1 + 2 * d)
     leaf_argtypes = ptr_types + [ctypes.c_longlong] * (2 + 4 * d)
     walk_argtypes = ptr_types + [ctypes.c_longlong] * (4 + 6 * d)
+    walk_par_argtypes = (
+        ptr_types
+        + [ctypes.c_longlong] * (5 + 6 * d)
+        + [ctypes.POINTER(ctypes.c_longlong)]
+    )
 
     arr_ptrs = [
         ir.arrays[info.name].data.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
@@ -771,12 +1131,45 @@ def make_c_clones(ir: KernelIR) -> CClones:
 
         return walk
 
+    # One persistent stats buffer per compiled kernel; concurrent calls
+    # from DAG workers accumulate into it with C atomic adds, and the
+    # driver diffs snapshots around a run to report per-run counters.
+    walk_stats = np.zeros(3, dtype=np.int64)
+    walk_stats_ptr = walk_stats.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong))
+
+    def bind_walk_par(fn) -> WalkFn:
+        fn.argtypes = walk_par_argtypes
+        fn.restype = None
+
+        def walk_par(
+            ta, tb, lo, hi, dlo, dhi, slopes, thresholds, dt_th, hyper,
+            nthreads, _keepalive=(const_bufs, walk_stats),
+        ):
+            fn(
+                *ptrs, ta, tb, *lo, *hi, *dlo, *dhi, *slopes, *thresholds,
+                dt_th, 1 if hyper else 0, nthreads, walk_stats_ptr,
+            )
+
+        return walk_par
+
     interior = bind_step(lib.interior_step)
     leaf = bind_leaf(lib.leaf)
     walk = bind_walk(lib.walk_subtree)
+    walk_par: WalkFn | None = None
+    if has_parallel:
+        walk_par = bind_walk_par(lib.walk_subtree_par)
     boundary: CloneFn | None = None
     leaf_boundary: LeafFn | None = None
     if boundary_ok:
         boundary = bind_step(lib.boundary_step)
         leaf_boundary = bind_leaf(lib.leaf_boundary)
-    return CClones(interior, boundary, leaf, leaf_boundary, walk, source)
+    return CClones(
+        interior,
+        boundary,
+        leaf,
+        leaf_boundary,
+        walk,
+        source,
+        walk_par=walk_par,
+        walk_stats=walk_stats if has_parallel else None,
+    )

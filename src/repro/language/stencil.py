@@ -79,6 +79,16 @@ class RunOptions:
         degrades to a Python replay of the recursion (bitwise
         identical).  Forcing ``True`` without the C backend therefore
         changes granularity, never results.
+    ``walk_threads``:
+        thread count for the compiled walk's embedded pthread pool
+        (``walk_subtree_par``): same-level hyperspace-cut pieces of each
+        subtree task run in parallel *inside* one GIL-released C call.
+        ``None`` (default) resolves to the detected available core count
+        when the parallel walk exists; ``1`` pins the serial walk clone
+        (unchanged behavior); values are bitwise-equivalent by
+        construction, so this knob trades only time, never results.
+        Ignored (harmlessly) when the compiled walk is off or the
+        backend has no parallel clone.
     ``autotune``:
         the persistent tuned-config registry
         (:mod:`repro.autotune.registry`).  ``"off"`` (default) never
@@ -106,6 +116,7 @@ class RunOptions:
     collect_stats: bool = True
     fuse_leaves: bool = True
     compiled_walk: bool | None = None
+    walk_threads: int | None = None
     autotune: str = "off"
 
     def __post_init__(self) -> None:
@@ -127,6 +138,10 @@ class RunOptions:
         if self.n_workers is not None and self.n_workers < 1:
             raise SpecificationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.walk_threads is not None and self.walk_threads < 1:
+            raise SpecificationError(
+                f"walk_threads must be >= 1, got {self.walk_threads}"
             )
         autotune = ("off", "use", "tune-on-miss")
         if self.autotune not in autotune:
@@ -162,6 +177,21 @@ class RunOptions:
         if self.compiled_walk is None:
             return resolved_mode == "c"
         return True
+
+    def resolve_walk_threads(self) -> int:
+        """Concrete thread count for the compiled walk's pthread pool.
+
+        The single source of the ``None``-means-auto rule: the detected
+        *available* core count (cgroup/affinity aware).  The executor
+        only consults this when the parallel walk clone exists, and the
+        generated pool itself degrades to the serial recursion when it
+        cannot start, so over-asking is harmless.
+        """
+        if self.walk_threads is not None:
+            return max(1, int(self.walk_threads))
+        from repro.util import detect_cpu_count
+
+        return max(1, detect_cpu_count())
 
     def resolve_executor(self) -> tuple[str, int]:
         """Concrete (executor, worker count) for this option set.
@@ -221,6 +251,16 @@ class RunReport:
     n_workers: int = 1
     busy_time: float = 0.0
     autotune_source: str = "heuristic"
+    #: Resolved thread count the compiled walk's pthread pool ran with
+    #: (1 when the parallel walk was off or unavailable).
+    walk_threads: int = 1
+    #: Parallel-walk pool counters for this run (diffed from the
+    #: kernel's shared C stats buffer): tasks spawned into the pool,
+    #: tasks executed by pool workers (vs. joins helping inline), and
+    #: level barriers joined.  All zero on the serial path.
+    walk_spawned: int = 0
+    walk_stolen: int = 0
+    walk_barriers: int = 0
 
     @property
     def points_per_second(self) -> float:

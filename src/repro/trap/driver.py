@@ -76,6 +76,9 @@ def _walk_setup(problem: Problem, options: RunOptions):
         # become single tasks executed by the compiled walk_subtree
         # clone (or its Python replay), one GIL-released call each.
         compiled_walk=options.resolve_compiled_walk(resolved),
+        # Rides along in the emitted WalkParams; the executor only acts
+        # on it when the compiled kernel has a parallel walk clone.
+        walk_threads=options.resolve_walk_threads(),
     )
     top = full_grid_zoid(problem.t_start, problem.t_end, problem.sizes)
     return top, spec, opts
@@ -130,6 +133,8 @@ def _apply_tuned(problem: Problem, options: RunOptions, tuned) -> RunOptions:
         updates["fuse_leaves"] = False
     if options.compiled_walk is None and tuned.compiled_walk is not None:
         updates["compiled_walk"] = tuned.compiled_walk
+    if options.walk_threads is None and tuned.walk_threads is not None:
+        updates["walk_threads"] = tuned.walk_threads
     return _replace(options, **updates) if updates else options
 
 
@@ -220,6 +225,12 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
         return report
 
     executor, n_workers = options.resolve_executor()
+    if compiled.walk_par is not None:
+        report.walk_threads = options.resolve_walk_threads()
+    # Pool counters are accumulated in a per-kernel C buffer; diffing a
+    # snapshot around the run yields this run's share (best-effort under
+    # concurrent runs of the same kernel, exact otherwise).
+    walk_stats0 = compiled.walk_stats_snapshot()
 
     # One timing window for every executor: decomposition + scheduling
     # structure + execution.  The serial stream interleaves walking with
@@ -251,6 +262,11 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
             region_stats = stats_from_regions(graph.iter_regions())
         elif executor == "threads":
             region_stats = plan_stats(plan)
+
+    walk_stats1 = compiled.walk_stats_snapshot()
+    report.walk_spawned = walk_stats1[0] - walk_stats0[0]
+    report.walk_stolen = walk_stats1[1] - walk_stats0[1]
+    report.walk_barriers = walk_stats1[2] - walk_stats0[2]
 
     report.executor = stats.executor
     report.n_workers = stats.n_workers

@@ -57,15 +57,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def default_workers(n_workers: int | None) -> int:
-    """The worker count a ``None`` request resolves to (one per core).
+    """The worker count a ``None`` request resolves to (one per
+    *available* core — cgroup/affinity aware).
 
     The single source of the default: executor dispatch, the loop
     baseline, and the run report all use this, so the reported count is
     always the count that actually ran.
     """
-    import os
+    from repro.util import detect_cpu_count
 
-    return n_workers or max(1, (os.cpu_count() or 2))
+    return n_workers or max(1, detect_cpu_count())
 
 
 # -- the shared worker pool ---------------------------------------------------
@@ -272,7 +273,7 @@ def _run_subtree_python(region: BaseRegion, compiled: "CompiledKernel") -> None:
     from repro.trap.walker import WalkOptions, WalkSpec, _events
 
     assert region.walk is not None
-    slopes, thresholds, dt_threshold, hyperspace = region.walk
+    slopes, thresholds, dt_threshold, hyperspace = region.walk[:4]
     ndim = len(slopes)
     # min/max offsets are irrelevant below a known-interior root (the
     # classification is inherited), so zeros suffice.
@@ -313,12 +314,23 @@ def run_base_region(region: BaseRegion, compiled: "CompiledKernel") -> None:
     if region.walk is not None:
         walk = compiled.walk
         if walk is not None:
-            slopes, thresholds, dt_threshold, hyperspace = region.walk
+            slopes, thresholds, dt_threshold, hyperspace = region.walk[:4]
+            threads = region.walk[4] if len(region.walk) > 4 else 1
             lo, hi, dlo, dhi = zip(*region.dims)
-            walk(
-                region.ta, region.tb, lo, hi, dlo, dhi,
-                slopes, thresholds, dt_threshold, hyperspace,
-            )
+            if threads > 1 and compiled.walk_par is not None:
+                # The in-.so pthread pool runs the subtree's same-level
+                # pieces in parallel; bitwise identical to the serial
+                # walk (and it falls back to it internally when the pool
+                # cannot start).
+                compiled.walk_par(
+                    region.ta, region.tb, lo, hi, dlo, dhi,
+                    slopes, thresholds, dt_threshold, hyperspace, threads,
+                )
+            else:
+                walk(
+                    region.ta, region.tb, lo, hi, dlo, dhi,
+                    slopes, thresholds, dt_threshold, hyperspace,
+                )
         else:
             _run_subtree_python(region, compiled)
         return

@@ -51,9 +51,11 @@ PlanEvent = tuple
 
 #: The recursion parameters a subtree task carries so its executor can
 #: reproduce the walk below it: (slopes, effective space thresholds,
-#: dt threshold, hyperspace flag).  Protected dimensions are encoded as
-#: a huge threshold (never cuttable), so no separate protect flags ride
-#: along.
+#: dt threshold, hyperspace flag, walk threads).  Protected dimensions
+#: are encoded as a huge threshold (never cuttable), so no separate
+#: protect flags ride along.  ``walk_threads`` > 1 selects the parallel
+#: compiled walk (the in-.so pthread pool) when the backend built one;
+#: consumers tolerate the historical 4-tuple (threads default to 1).
 WalkParams = tuple
 
 

@@ -94,6 +94,11 @@ class WalkOptions:
     their recursion parameters (see :class:`repro.trap.plan.BaseRegion`)
     instead of being decomposed here.  The driver turns it on only when
     the backend compiles a ``walk_subtree`` clone.
+
+    ``walk_threads`` is the thread count the compiled walk's embedded
+    pthread pool runs with (1 = the serial clone, unchanged).  It rides
+    along in the emitted :data:`WalkParams`, so tuned values apply
+    per-plan without recompiling anything.
     """
 
     dt_threshold: int = 1
@@ -101,6 +106,7 @@ class WalkOptions:
     protect_unit_stride: bool = False
     hyperspace: bool = True
     compiled_walk: bool = False
+    walk_threads: int = 1
 
     def protect_flags(self, ndim: int) -> tuple[bool, ...]:
         flags = [False] * ndim
@@ -145,6 +151,7 @@ def default_options(
     hyperspace: bool = True,
     codegen_mode: str | None = None,
     compiled_walk: bool = False,
+    walk_threads: int = 1,
 ) -> WalkOptions:
     """Fill unset knobs with the Section-4 style coarsening heuristics.
 
@@ -169,6 +176,7 @@ def default_options(
         protect_unit_stride=bool(protect_unit_stride),
         hyperspace=hyperspace,
         compiled_walk=bool(compiled_walk),
+        walk_threads=max(1, int(walk_threads)),
     )
 
 
@@ -265,6 +273,7 @@ def _events(
                     opts.effective_thresholds(z.ndim),
                     opts.dt_threshold,
                     opts.hyperspace,
+                    opts.walk_threads,
                 ),
             ),
         )

@@ -1,8 +1,9 @@
-"""Small shared utilities: timing, ASCII tables, integer math helpers."""
+"""Small shared utilities: timing, ASCII tables, integer math, CPUs."""
 
 from repro.util.timing import Timer, measure
 from repro.util.tables import Table
 from repro.util.intmath import ceil_div, floor_div, ilog2, is_pow2, next_pow2
+from repro.util.cpus import detect_cpu_count
 
 __all__ = [
     "Timer",
@@ -13,4 +14,5 @@ __all__ = [
     "ilog2",
     "is_pow2",
     "next_pow2",
+    "detect_cpu_count",
 ]

@@ -1,0 +1,20 @@
+"""Core-count detection that respects cgroup/affinity restrictions."""
+
+from __future__ import annotations
+
+import os
+
+
+def detect_cpu_count() -> int:
+    """The number of CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine's cores even when a cgroup
+    cpuset or ``taskset`` affinity mask restricts the process to fewer —
+    the common case in containers — so sizing pools by it oversubscribes
+    the restricted set.  ``sched_getaffinity`` reports the real mask;
+    fall back to ``cpu_count`` on platforms without it (macOS).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1

@@ -346,22 +346,26 @@ class TestSchemaMigration:
                 }
             )
 
-    def test_schema1_file_reads_empty_then_rewrites_at_current(
-        self, isolated_registry
+    @pytest.mark.parametrize("old_schema", [1, 2])
+    def test_pre_bump_file_reads_empty_then_rewrites_at_current(
+        self, isolated_registry, old_schema
     ):
         """The migration contract: a pre-bump registry is discarded
         wholesale (its configs were tuned without the new knob in the
         search space), and the next store rewrites the file at the
-        current schema."""
+        current schema.  Covers both historical layouts: schema 1
+        (no ``compiled_walk``) and schema 2 (no ``walk_threads``)."""
         st, u, k, problem = _heat_problem()
         registry.store(problem, "auto", TunedConfig((12, 12), 3))
         doc = json.loads(isolated_registry.read_text())
         assert doc["schema"] == SCHEMA_VERSION
-        # Rewrite the same entries as a schema-1 file (the pre-bump
-        # layout simply lacked the compiled_walk key).
+        # Rewrite the same entries as the older layout: each bump only
+        # added a key, so dropping the newer keys reproduces it exactly.
         for entry in doc["entries"].values():
-            entry.pop("compiled_walk", None)
-        doc["schema"] = 1
+            entry.pop("walk_threads", None)
+            if old_schema < 2:
+                entry.pop("compiled_walk", None)
+        doc["schema"] = old_schema
         isolated_registry.write_text(json.dumps(doc))
         assert registry.lookup(problem, "auto") is None
         report = st.run(6, k, autotune="use")
@@ -372,6 +376,55 @@ class TestSchemaMigration:
         assert doc["schema"] == SCHEMA_VERSION
         got = registry.lookup(problem, "auto")
         assert got is not None and got.space_thresholds == (10, 10)
+
+    def test_walk_threads_roundtrips_through_json(self):
+        """The schema-3 knob survives serialization for every shape it
+        can take: unset (defer to the run's auto rule), explicit serial,
+        and an explicit thread count."""
+        for wt in (None, 1, 4):
+            cfg = TunedConfig((8, 8), 2, walk_threads=wt)
+            assert TunedConfig.from_json(cfg.to_json()).walk_threads == wt
+
+    def test_walk_threads_roundtrips_through_store(self):
+        st, u, k, problem = _heat_problem()
+        registry.store(
+            problem, "auto", TunedConfig((12, 12), 3, walk_threads=2)
+        )
+        got = registry.lookup(problem, "auto")
+        assert got is not None and got.walk_threads == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, "two"])
+    def test_bad_walk_threads_rejected(self, bad):
+        """A thread count below 1 (or a non-integer) can never steer the
+        pool; such entries are evicted at parse time like any other
+        malformed field."""
+        with pytest.raises((TypeError, ValueError)):
+            TunedConfig.from_json(
+                {
+                    "space_thresholds": [8, 8],
+                    "dt_threshold": 2,
+                    "walk_threads": bad,
+                }
+            )
+
+    @pytest.mark.skipif("c" not in ALL_MODES, reason="no C compiler")
+    def test_tuned_walk_threads_reaches_the_report(self):
+        """A stored ``walk_threads`` must reach the executor: the
+        RunReport's ``walk_threads`` field reflects the registry value
+        when the caller leaves the knob unset, and the explicit knob
+        wins when the caller pins it."""
+        st, u, k = make_heat_problem((32, 32))
+        problem = st.prepare(8, k)
+        cfg = TunedConfig((8, 8), 2, mode="c", walk_threads=2)
+        registry.store(problem, "c", cfg)
+        report = st.run(8, k, mode="c", autotune="use")
+        assert report.autotune_source == "registry"
+        assert report.walk_threads == 2
+
+        st2, u2, k2 = make_heat_problem((32, 32))
+        registry.store(st2.prepare(8, k2), "c", cfg)
+        report2 = st2.run(8, k2, mode="c", autotune="use", walk_threads=1)
+        assert report2.walk_threads == 1
 
     @pytest.mark.skipif("c" not in ALL_MODES, reason="no C compiler")
     def test_tuned_compiled_walk_off_steers_the_planner(self):
@@ -399,6 +452,15 @@ st, u, k = make_heat_problem((32, 32))
 report = st.run(8, k, mode="c", autotune="use")
 print("SOURCE=" + report.autotune_source)
 print("SUBTREES=%d" % report.subtree_tasks)
+"""
+
+
+WTHREADS_PROCESS_SCRIPT = """
+from tests.conftest import make_heat_problem
+st, u, k = make_heat_problem((32, 32))
+report = st.run(8, k, mode="c", autotune="use")
+print("SOURCE=" + report.autotune_source)
+print("WTHREADS=%d" % report.walk_threads)
 """
 
 
@@ -477,3 +539,37 @@ class TestCrossProcess:
         assert proc.returncode == 0, proc.stderr
         assert "SOURCE=registry" in proc.stdout, proc.stdout
         assert "SUBTREES=0" in proc.stdout, proc.stdout
+
+    @pytest.mark.skipif("c" not in ALL_MODES, reason="no C compiler")
+    def test_walk_threads_knob_roundtrips_across_processes(
+        self, isolated_registry
+    ):
+        """The schema-3 acceptance criterion: a config carrying the new
+        ``walk_threads`` knob, stored here, must load and set the pool's
+        thread count in a fresh interpreter."""
+        st, u, k = make_heat_problem((32, 32))
+        problem = st.prepare(8, k)
+        registry.store(
+            problem,
+            "c",
+            TunedConfig((8, 8), 2, mode="c", walk_threads=2),
+        )
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", WTHREADS_PROCESS_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SOURCE=registry" in proc.stdout, proc.stdout
+        assert "WTHREADS=2" in proc.stdout, proc.stdout

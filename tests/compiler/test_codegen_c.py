@@ -89,6 +89,23 @@ class TestGeneratedSource:
             _heat_ir(), include_boundary=False
         )
 
+    def test_parallel_walk_section_is_opt_in(self):
+        """The pthread pool is emitted only on request (the serial-only
+        source must stay buildable on toolchains without -pthread), and
+        both recursions share one decomposition helper — the structural
+        guarantee behind the bitwise-identity contract."""
+        src = generate_c_source(_heat_ir())
+        assert "walk_subtree_par" not in src
+        assert "pthread.h" not in src
+        par = generate_c_source(_heat_ir(), include_parallel=True)
+        assert "void walk_subtree_par(" in par
+        assert "#include <pthread.h>" in par
+        assert "static void walk_rec_par(" in par
+        assert "wq_ensure_pool" in par
+        # one walk_cuts, used by both walk_rec and walk_rec_par: the
+        # parallel walk cannot drift from the serial decomposition.
+        assert par.count("static int walk_cuts(") == 1
+
     def test_walk_clone_matches_per_leaf_bitwise(self):
         """One subtree through walk_subtree vs the same recursion
         replayed in Python over the fused leaf — bitwise identical (the

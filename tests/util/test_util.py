@@ -1,9 +1,18 @@
-"""Tests for the util package: tables, timing, integer math."""
+"""Tests for the util package: tables, timing, integer math, CPU count."""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util import Table, Timer, ceil_div, ilog2, is_pow2, measure, next_pow2
+from repro.util import (
+    Table,
+    Timer,
+    ceil_div,
+    detect_cpu_count,
+    ilog2,
+    is_pow2,
+    measure,
+    next_pow2,
+)
 
 
 class TestIntMath:
@@ -56,6 +65,41 @@ class TestTable:
         assert Table.format_cell(1234567.0) == "1.23e+06"
         assert Table.format_cell(1.5) == "1.50"
         assert Table.format_cell(0.0) == "0"
+
+
+class TestDetectCpuCount:
+    """The shared affinity-aware core count (executor default, walk
+    pool auto, machine fingerprints, bench sweeps all consult it)."""
+
+    def test_positive_int(self):
+        n = detect_cpu_count()
+        assert isinstance(n, int) and n >= 1
+
+    def test_respects_affinity_mask(self, monkeypatch):
+        import repro.util.cpus as cpus
+
+        monkeypatch.setattr(
+            cpus.os, "sched_getaffinity", lambda pid: {0, 2, 5}, raising=False
+        )
+        assert detect_cpu_count() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.util.cpus as cpus
+
+        def boom(pid):
+            raise OSError("no affinity syscall here")
+
+        monkeypatch.setattr(cpus.os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(cpus.os, "cpu_count", lambda: 7)
+        assert detect_cpu_count() == 7
+
+    def test_never_returns_zero(self, monkeypatch):
+        import repro.util.cpus as cpus
+
+        monkeypatch.setattr(
+            cpus.os, "sched_getaffinity", lambda pid: set(), raising=False
+        )
+        assert detect_cpu_count() == 1
 
 
 class TestTiming:
