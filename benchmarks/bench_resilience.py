@@ -1,0 +1,232 @@
+"""Checkpoint overhead vs ``every_dt`` on 2D heat, plus a resume smoke.
+
+PR 7's crash-safety has a price: each checkpoint serializes every live
+time slot, checksums it, and fsyncs it to disk at a trapezoid-time-block
+boundary.  This benchmark quantifies that price as a function of the
+checkpoint cadence — a baseline uncheckpointed heat2d run against the
+same run under ``CheckpointPolicy(every_dt=d)`` for a sweep of cadences
+down from the default — and verifies the two invariants that make the
+overhead worth paying:
+
+* **equivalence** — every checkpointed run's final grid is bitwise
+  identical to the uncheckpointed baseline (checkpointing only splits
+  the time range; it never changes what any clone computes);
+* **resumability** — a fresh problem resumed from the sweep's surviving
+  checkpoints reproduces the baseline bits without re-running the
+  already-checkpointed prefix.
+
+Acceptance: at the default cadence (``every_dt=64``, one checkpoint per
+64 timesteps) the wall-clock overhead must stay under 5%.  The anchor
+binds in measuring mode only — ``--check`` and tiny-scale smoke runs
+never fail on timing.
+
+Runnable three ways::
+
+    pytest benchmarks/bench_resilience.py --benchmark-only -s
+    python benchmarks/bench_resilience.py            # prints + JSON
+    python benchmarks/bench_resilience.py --check    # CI smoke: exits
+                                                     # nonzero on an
+                                                     # equivalence or
+                                                     # resume failure,
+                                                     # never on timing
+
+A passing measuring run at non-tiny scale writes ``BENCH_resilience.json``
+at the repo root; ``--check`` and tiny runs leave the committed record
+untouched.  Checkpoints land in a scratch directory that is wiped
+between sweep points, so measuring never leaves state behind.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.bench_util import best_of, is_tiny, once, write_bench_json  # noqa: E402
+from repro import CheckpointPolicy  # noqa: E402
+from repro.apps.heat import build_heat  # noqa: E402
+from repro.resilience import checkpoint as cp  # noqa: E402
+
+APP = "heat2d"
+
+#: The documented default cadence (``CheckpointPolicy.every_dt``); the
+#: <5% acceptance anchor is measured at this sweep point.
+DEFAULT_EVERY_DT = 64
+
+#: Acceptance: checkpointed wall time / baseline wall time at the
+#: default cadence must stay under this bound (measuring mode only).
+MAX_DEFAULT_OVERHEAD = 1.05
+
+#: The measuring run uses heat2d's "small" grid but a longer horizon
+#: than the app preset (512 steps instead of 64): at the default
+#: cadence that yields interior checkpoints, whose durable writes the
+#: runner overlaps with the next block's compute — the configuration
+#: the overhead bound is about.  A 64-step run would measure only the
+#: final checkpoint, which by construction has no compute left to hide
+#: behind.
+MEASURE_STEPS = 512
+
+
+def _build():
+    if is_tiny():
+        return build_heat((24, 24), 8, periodic=False)
+    return build_heat((1536, 1536), MEASURE_STEPS, periodic=False)
+
+
+def _sweep(steps: int) -> list[int]:
+    """Cadences to measure: the default plus two finer points scaled to
+    the run length (a tiny 8-step run sweeps 8/1 instead of 64/32/8)."""
+    pts = {min(DEFAULT_EVERY_DT, steps), max(1, steps // 16), max(1, steps // 64)}
+    return sorted(pts, reverse=True)
+
+
+def _baseline(reps: int) -> tuple[float, np.ndarray]:
+    best = None
+    grid = None
+    for _ in range(max(1, reps)):
+        app = _build()
+        t = best_of(lambda: app.run(), reps=1)
+        if best is None or t < best:
+            best, grid = t, app.result()
+    return best, grid
+
+
+def measure_cadence(every_dt: int, reps: int, ref: np.ndarray,
+                    scratch: str) -> dict:
+    """Wall time, checkpoint count/bytes, bitwise + resume checks for
+    one cadence."""
+    best = None
+    entry: dict = {"every_dt": every_dt}
+    ckpt_dir = os.path.join(scratch, f"dt{every_dt}")
+    for _ in range(max(1, reps)):
+        shutil.rmtree(ckpt_dir, ignore_errors=True)
+        app = _build()
+        policy = CheckpointPolicy(dir=ckpt_dir, every_dt=every_dt, keep=3)
+        t = best_of(lambda: app.run(checkpoint=policy), reps=1)
+        if best is None or t < best:
+            best = t
+            entry["bitwise_equal"] = bool(np.array_equal(app.result(), ref))
+    paths = cp.list_checkpoints(ckpt_dir)
+    entry["wall_s"] = round(best, 4)
+    entry["checkpoints_on_disk"] = len(paths)
+    entry["checkpoint_bytes"] = paths[0].stat().st_size if paths else 0
+
+    # Resume smoke: a fresh problem picking up the newest surviving
+    # checkpoint must land on the same bits.
+    app2 = _build()
+    report = app2.run(resume_from=ckpt_dir)
+    entry["resume_bitwise_equal"] = bool(np.array_equal(app2.result(), ref))
+    entry["resumed_from"] = report.resumed_from
+    return entry
+
+
+def _failures(payload: dict) -> list[str]:
+    bad = [
+        f"bitwise-dt{e['every_dt']}"
+        for e in payload["sweep"]
+        if not e["bitwise_equal"]
+    ]
+    bad += [
+        f"resume-dt{e['every_dt']}"
+        for e in payload["sweep"]
+        if not (e["resume_bitwise_equal"] and e["resumed_from"] is not None)
+    ]
+    if not payload["overhead_ok"]:
+        bad.append("overhead-at-default-cadence")
+    return bad
+
+
+def run_resilience_bench(check_only: bool = False) -> dict:
+    # Two reps, not the usual three: each measuring rep is a ~15 s
+    # 512-step run, and best-of-2 already discards a one-off stall.
+    reps = 1 if (check_only or is_tiny()) else 2
+    scratch = tempfile.mkdtemp(prefix="repro_bench_resilience_")
+    try:
+        app = _build()
+        steps = app.steps
+        # Warm the compile cache and allocator before any timed run: the
+        # baseline is measured first, and on a cold process it absorbs
+        # one-off costs the later checkpointed runs would not see.
+        warm = build_heat((24, 24) if is_tiny() else (1536, 1536), 8)
+        warm.run()
+        base_s, ref = _baseline(reps)
+        payload: dict = {
+            "app": APP,
+            "steps": steps,
+            "baseline_wall_s": round(base_s, 4),
+            "checkpoint_schema": cp.CHECKPOINT_SCHEMA_VERSION,
+            "sweep": [],
+        }
+        for every_dt in _sweep(steps):
+            entry = measure_cadence(every_dt, reps, ref, scratch)
+            entry["overhead"] = (
+                round(entry["wall_s"] / base_s, 4) if base_s > 0 else 0.0
+            )
+            entry["is_default_cadence"] = every_dt == min(
+                DEFAULT_EVERY_DT, steps
+            )
+            payload["sweep"].append(entry)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    default = next(e for e in payload["sweep"] if e["is_default_cadence"])
+    # The timing anchor binds in measuring mode only: --check (and tiny
+    # smoke runs) must never fail on timing noise.
+    payload["overhead_ok"] = bool(
+        check_only or is_tiny() or default["overhead"] <= MAX_DEFAULT_OVERHEAD
+    )
+    payload["equivalence_ok"] = all(
+        e["bitwise_equal"] and e["resume_bitwise_equal"]
+        for e in payload["sweep"]
+    )
+    # Only a fully passing, non-smoke measuring run may overwrite the
+    # committed perf-trajectory record.
+    if not check_only and not is_tiny() and not _failures(payload):
+        write_bench_json("resilience", payload)
+    return payload
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
+def test_checkpoint_overhead(benchmark):
+    payload = once(benchmark, run_resilience_bench)
+    assert not _failures(payload), _failures(payload)
+    benchmark.extra_info["baseline_wall_s"] = payload["baseline_wall_s"]
+    for e in payload["sweep"]:
+        benchmark.extra_info[f"overhead_dt{e['every_dt']}"] = e["overhead"]
+        print(
+            f"\n[resilience] every_dt={e['every_dt']}: "
+            f"{e['wall_s']:.3f}s ({e['overhead']:.3f}x baseline, "
+            f"{e['checkpoints_on_disk']} ckpts on disk, "
+            f"resume@t={e['resumed_from']})"
+        )
+
+
+if __name__ == "__main__":
+    check_only = "--check" in sys.argv
+    payload = run_resilience_bench(check_only=check_only)
+    bad = _failures(payload)
+    if bad:
+        print(f"RESILIENCE BENCH FAILURE: {bad}", file=sys.stderr)
+        sys.exit(1)
+    if check_only:
+        print(
+            f"resilience ok: {APP} x every_dt="
+            f"{[e['every_dt'] for e in payload['sweep']]} "
+            f"(all bitwise + resumable)"
+        )
+    else:
+        lines = ", ".join(
+            f"dt{e['every_dt']} {e['overhead']:.3f}x"
+            for e in payload["sweep"]
+        )
+        print(
+            f"resilience: baseline {payload['baseline_wall_s']:.3f}s; "
+            f"{lines} — BENCH_resilience.json written"
+        )

@@ -30,6 +30,7 @@ paper-versus-measured record of every reproduced table and figure.
 from repro.errors import (
     AutotuneError,
     BoundaryError,
+    CheckpointError,
     CompileError,
     ExecutionError,
     KernelError,
@@ -37,6 +38,7 @@ from repro.errors import (
     ShapeViolationError,
     SpecificationError,
 )
+from repro.resilience import Checkpoint, CheckpointPolicy, resume
 from repro.expr import (
     Param,
     eq_,
@@ -73,6 +75,9 @@ __all__ = [
     "AutotuneError",
     "Boundary",
     "BoundaryError",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointPolicy",
     "CompileError",
     "ConstArray",
     "ConstantBoundary",
@@ -101,6 +106,7 @@ __all__ = [
     "maximum",
     "minimum",
     "ne_",
+    "resume",
     "run_phase1",
     "where",
     "__version__",

@@ -47,6 +47,9 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.resilience import degradations, faults
+from repro.util import atomic_write_text
+
 #: Bump when the entry layout changes; a mismatched file is discarded
 #: wholesale (stale tunings are worthless, silently misreading them is
 #: worse).  History: 1 — original dispatch space; 2 — ``compiled_walk``
@@ -242,9 +245,12 @@ def _load(path: Path) -> dict[str, dict]:
         raw = path.read_text()
     except OSError:
         return {}
+    if faults.fire("registry.corrupt"):
+        raw = raw[: len(raw) // 2] + "\x00<injected fault: registry.corrupt>"
     try:
         doc = json.loads(raw)
     except ValueError:
+        degradations.note("registry:corrupt-evicted")
         _evict_corrupt(path)
         return {}
     if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
@@ -266,11 +272,12 @@ def _load(path: Path) -> dict[str, dict]:
 
 
 def _dump(path: Path, entries: dict[str, dict]) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
+    # Durable, not just atomic: fsync the temp file and the directory
+    # entry (repro.util.atomic) so a crash right after a store cannot
+    # leave a zero-length or half-written registry for the next process
+    # to evict.
     doc = {"schema": SCHEMA_VERSION, "entries": entries}
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def lookup(problem, backend: str) -> TunedConfig | None:

@@ -50,7 +50,9 @@ import hashlib
 import os
 import shutil
 import subprocess
+import sys
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -58,6 +60,8 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import CompileError, KernelError
+from repro.resilience import degradations, faults
+from repro.util import atomic_write_text, durable_replace
 from repro.compiler.frontend import KernelIR
 from repro.compiler.codegen_numpy import (
     LeafFn,
@@ -949,6 +953,34 @@ _CFLAGS = ("-O2", "-ffp-contract=off", "-fno-math-errno", "-fPIC", "-shared")
 _PTHREAD_FLAGS = ("-pthread",)
 
 
+def _cc_timeout() -> float:
+    """Wall-clock budget for one cc invocation (``$REPRO_CC_TIMEOUT``,
+    seconds).  The default is generous — these are single-file builds
+    that normally finish in well under a second — so a hit means a hung
+    toolchain (NFS stall, license-server wait, a wedged cc1), not a
+    slow machine."""
+    try:
+        return max(1.0, float(os.environ.get("REPRO_CC_TIMEOUT", "300")))
+    except ValueError:
+        return 300.0
+
+
+def _run_cc(cmd: list[str], timeout: float) -> subprocess.CompletedProcess:
+    """One cc invocation, with the ``cc.hang``/``cc.fail`` fault sites.
+
+    ``cc.hang`` swaps in a genuinely hanging child so the timeout path
+    (kill + reap + retry) is exercised for real, not simulated."""
+    run_cmd = cmd
+    if faults.fire("cc.hang"):
+        run_cmd = [sys.executable, "-c", "import time; time.sleep(2147483)"]
+    proc = subprocess.run(run_cmd, capture_output=True, text=True, timeout=timeout)
+    if faults.fire("cc.fail"):
+        return subprocess.CompletedProcess(
+            run_cmd, 1, stdout="", stderr="injected fault: cc.fail"
+        )
+    return proc
+
+
 def build_shared_object(
     source: str, *, force: bool = False, extra_flags: tuple[str, ...] = ()
 ) -> Path:
@@ -959,6 +991,12 @@ def build_shared_object(
     flag change) compiles afresh instead of loading the old object.
     ``force`` recompiles even when a cached object exists (the
     load-failure eviction path).
+
+    The cc subprocess runs under a timeout (:func:`_cc_timeout`) with
+    one short-backoff retry — a wedged toolchain must not hang the run
+    when the NumPy backend could serve it.  A second timeout (or any
+    nonzero exit) raises :class:`CompileError`, which the pipeline's
+    mode fallback turns into a degraded-but-running configuration.
     """
     cc = find_c_compiler()
     if cc is None:
@@ -972,15 +1010,31 @@ def build_shared_object(
     if so_path.exists() and not force:
         return so_path
     c_path = cache / f"kernel_{digest}.c"
-    c_path.write_text(source)
+    atomic_write_text(c_path, source)
     tmp_so = cache / f"kernel_{digest}.{os.getpid()}.tmp.so"
     cmd = [cc, *flags, "-o", str(tmp_so), str(c_path), "-lm"]
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        raise CompileError(
-            f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
-        )
-    os.replace(tmp_so, so_path)
+    timeout = _cc_timeout()
+    for attempt in (0, 1):
+        try:
+            proc = _run_cc(cmd, timeout)
+        except subprocess.TimeoutExpired:
+            if attempt == 0:
+                degradations.note("cc:timeout-retry")
+                time.sleep(min(1.0, timeout / 20))
+                continue
+            raise CompileError(
+                f"C compilation timed out twice ({timeout:g}s each) — "
+                f"wedged toolchain? ({' '.join(cmd)})"
+            ) from None
+        if proc.returncode != 0:
+            raise CompileError(
+                f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
+            )
+        break
+    # fsync the object and its directory entry before publishing: a
+    # half-written .so surviving a crash would cost a (detected,
+    # evicted) load failure on every later process.
+    durable_replace(tmp_so, so_path)
     return so_path
 
 
@@ -992,19 +1046,32 @@ def load_shared_object(
     A cached object that fails to load — truncated write from a killed
     process, an object built for another architecture carried over in a
     shared cache dir — is *evicted* and rebuilt once, instead of pinning
-    the cache in a permanently broken state.
+    the cache in a permanently broken state.  A rebuild that *still*
+    fails to load raises :class:`CompileError` (not a raw ``OSError``),
+    so callers' backend fallbacks treat it like any other toolchain
+    failure.
     """
     so_path = build_shared_object(source, extra_flags=extra_flags)
     try:
+        if faults.fire("so.load"):
+            raise OSError("injected fault: so.load")
         return ctypes.CDLL(str(so_path))
     except OSError:
+        degradations.note("so-cache:evicted-rebuilt")
         try:
             so_path.unlink()
         except OSError:
             pass
-        return ctypes.CDLL(
-            str(build_shared_object(source, force=True, extra_flags=extra_flags))
-        )
+        rebuilt = build_shared_object(source, force=True, extra_flags=extra_flags)
+        try:
+            if faults.fire("so.load"):
+                raise OSError("injected fault: so.load")
+            return ctypes.CDLL(str(rebuilt))
+        except OSError as exc:
+            raise CompileError(
+                f"shared object {rebuilt} failed to load even after "
+                f"evict-and-rebuild: {exc}"
+            ) from exc
 
 
 #: The compiled-walk entry point: (ta, tb, lo, hi, dlo, dhi, slopes,
@@ -1065,6 +1132,7 @@ def make_c_clones(ir: KernelIR) -> CClones:
         lib = load_shared_object(source, extra_flags=_PTHREAD_FLAGS)
         has_parallel = True
     except CompileError:
+        degradations.note("cc:parallel-source-failed->serial-clones")
         source = generate_c_source(ir, include_boundary=boundary_ok)
         lib = load_shared_object(source)
         has_parallel = False

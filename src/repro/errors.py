@@ -69,3 +69,12 @@ class ExecutionError(PochoirError):
 
 class AutotuneError(PochoirError):
     """The autotuner was given an empty or infeasible search space."""
+
+
+class CheckpointError(PochoirError):
+    """A checkpoint file is unusable: torn or corrupt bytes (checksum
+    mismatch), an unknown schema version, a problem-signature mismatch,
+    or a time range outside the resuming run.  The resilience loader
+    treats this as "skip this file and fall back to the next-newest
+    valid checkpoint"; it only propagates from the low-level
+    :func:`repro.resilience.checkpoint.load_checkpoint` API."""

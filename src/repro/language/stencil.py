@@ -104,6 +104,23 @@ class RunOptions:
         source won.  Registry damage of any kind degrades silently to
         the heuristics — no exception from the registry reaches
         ``run``.
+    ``checkpoint``:
+        a :class:`repro.resilience.CheckpointPolicy` makes the driver
+        split the run into ``every_dt``-step blocks and durably
+        checkpoint the live time window after each one (plus one
+        in-memory rollback-and-retry per block on executor failure);
+        ``None`` (default) runs the whole range in one block with no
+        snapshots.  Not supported under ``algorithm="phase1"`` (the
+        checked interpreter has its own driver).
+    ``resume_from``:
+        restart a killed run mid-history: a checkpoint *directory* (the
+        newest valid checkpoint for this problem wins; none found means
+        a recorded cold start), a checkpoint *file* (damaged files fall
+        back to the newest valid sibling), or a loaded
+        :class:`repro.resilience.Checkpoint` from :func:`repro.resume`.
+        The restored run recomputes exactly the remaining levels and
+        finishes bitwise-identical to the uninterrupted run;
+        ``RunReport.resumed_from`` records the first recomputed level.
     """
 
     algorithm: str = "trap"
@@ -118,6 +135,8 @@ class RunOptions:
     compiled_walk: bool | None = None
     walk_threads: int | None = None
     autotune: str = "off"
+    checkpoint: object | None = None
+    resume_from: object | None = None
 
     def __post_init__(self) -> None:
         algorithms = ("trap", "strap", "loops", "serial_loops", "phase1")
@@ -148,6 +167,22 @@ class RunOptions:
             raise SpecificationError(
                 f"unknown autotune policy {self.autotune!r}; "
                 f"choose from {autotune}"
+            )
+        if self.checkpoint is not None:
+            from repro.resilience.checkpoint import CheckpointPolicy
+
+            if not isinstance(self.checkpoint, CheckpointPolicy):
+                raise SpecificationError(
+                    f"checkpoint must be a CheckpointPolicy or None, "
+                    f"got {type(self.checkpoint).__name__}"
+                )
+            if self.algorithm == "phase1":
+                raise SpecificationError(
+                    "checkpointing is not supported under algorithm='phase1'"
+                )
+        if self.resume_from is not None and self.algorithm == "phase1":
+            raise SpecificationError(
+                "resume_from is not supported under algorithm='phase1'"
             )
         # Identity-checked, not `in (None, True, False)`: 0 == False, so
         # an equality test would admit int 0 here while the `is False`
@@ -233,6 +268,15 @@ class RunReport:
     ``"explicit"`` (caller-supplied thresholds), ``"registry"`` (a
     stored tuned config was applied), or ``"tuned"`` (tuned this run
     under ``autotune="tune-on-miss"`` and stored for the next process).
+
+    ``degradations`` lists every graceful fallback that fired during
+    the run (short stable tags, deduplicated, ordered by first firing):
+    compiler fallbacks, ``.so``-cache evictions, registry corruption,
+    checkpoint skips, executor retries.  Empty means the run took
+    exactly the path it was asked for.  ``checkpoints_written`` counts
+    durable snapshots taken under a ``checkpoint`` policy, and
+    ``resumed_from`` is the first recomputed time level when the run
+    restarted from a checkpoint (``None`` for a cold start).
     """
 
     algorithm: str
@@ -261,6 +305,13 @@ class RunReport:
     walk_spawned: int = 0
     walk_stolen: int = 0
     walk_barriers: int = 0
+    #: Graceful fallbacks that fired during this run (stable tags,
+    #: deduplicated, ordered by first firing); see the class docstring.
+    degradations: list[str] = field(default_factory=list)
+    #: Durable snapshots written under a ``checkpoint`` policy.
+    checkpoints_written: int = 0
+    #: First recomputed time level when resuming from a checkpoint.
+    resumed_from: int | None = None
 
     @property
     def points_per_second(self) -> float:

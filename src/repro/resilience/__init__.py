@@ -1,0 +1,46 @@
+"""Resilience: crash-safe checkpoint/restart and fault injection.
+
+Two pillars (see the module docstrings for the full contracts):
+
+* :mod:`repro.resilience.checkpoint` — durable, checksummed snapshots
+  of a run's live time window, taken at trapezoid-time-block
+  boundaries by :mod:`repro.resilience.runner`; ``resume`` restarts a
+  killed run mid-history with a bitwise-identical final grid.
+* :mod:`repro.resilience.faults` — a registry of named failure sites
+  (``REPRO_FAULTS`` or API-armed) that production code consults, so a
+  test matrix can prove every degradation path holds.
+
+:mod:`repro.resilience.degradations` records which fallbacks actually
+fired into ``RunReport.degradations``.
+
+This package imports nothing heavy at import time (no NumPy-free
+guarantee — checkpoint needs it — but no compiler/registry probing),
+so production modules can import :mod:`~repro.resilience.faults` and
+:mod:`~repro.resilience.degradations` without cycles.
+"""
+
+from repro.resilience import degradations, faults
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpoint,
+    CheckpointPolicy,
+    list_checkpoints,
+    load_checkpoint,
+    resume,
+    write_checkpoint,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "degradations",
+    "faults",
+    "list_checkpoints",
+    "load_checkpoint",
+    "resume",
+    "write_checkpoint",
+]

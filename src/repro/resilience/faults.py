@@ -1,0 +1,221 @@
+"""The fault-injection plan: named failure sites, armed by env or API.
+
+PRs 3-6 grew ad-hoc failure hooks (``REPRO_NO_CC`` hides the toolchain,
+``REPRO_WALK_POOL_FAIL`` breaks the in-``.so`` pthread pool).  This
+module generalizes them into one registry of *named sites* the
+production code consults at each point where reality can fail, so a
+single parametrized test matrix can prove every degradation path — and
+any *combination* of them — never crashes and never silently corrupts.
+
+Sites (each guarded by :func:`fire` at exactly one code location):
+
+========================  ====================================================
+``cc.fail``               the cc subprocess exits nonzero at the ``.so``
+                          build site (:mod:`repro.compiler.codegen_c`)
+``cc.hang``               the cc subprocess hangs until the build timeout
+                          (exercises the timeout + retry + backoff path)
+``so.load``               ``ctypes.CDLL`` fails on a cached shared object
+                          (truncated write / foreign architecture)
+``registry.corrupt``      the autotune registry's bytes are corrupt on read
+``checkpoint.corrupt``    a checkpoint file's bytes are corrupt on read
+``dag.worker``            a DAG executor worker dies mid-run
+``walk.pool``             the compiled walk's pthread pool cannot start
+                          (arms the generated C's ``REPRO_WALK_POOL_FAIL``
+                          getenv hook, since that site lives below Python)
+``checkpoint.kill``       SIGKILL this process immediately after a
+                          checkpoint write lands (the kill-resume harness;
+                          fired by the resilience runner itself)
+========================  ====================================================
+
+Arming:
+
+* **API** — ``install(FaultPlan.parse("so.load:1"))`` or the
+  :func:`injected` context manager (tests).
+* **Environment** — ``REPRO_FAULTS="site[:times][@skip]{,...}"``, parsed
+  on first use, so a *subprocess* can be armed without code changes
+  (the kill-resume CI leg runs this way).  ``times`` bounds how often
+  the site fires (default: unlimited); ``skip`` lets the first N
+  arrivals pass unharmed (``checkpoint.kill:1@2`` = die right after the
+  third checkpoint).
+
+Sites not named in the active plan never fire, and with no plan armed
+:func:`fire` is two dict lookups — safe to leave in production paths.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: The env hook the generated C pool reads (kept from PR 6); the
+#: ``walk.pool`` site arms it because the site itself is below Python.
+_WALK_POOL_ENV = "REPRO_WALK_POOL_FAIL"
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+KNOWN_SITES = (
+    "cc.fail",
+    "cc.hang",
+    "so.load",
+    "registry.corrupt",
+    "checkpoint.corrupt",
+    "dag.worker",
+    "walk.pool",
+    "checkpoint.kill",
+)
+
+
+@dataclass
+class FaultSpec:
+    """One armed site: fire up to ``times`` times after ``skip`` passes."""
+
+    site: str
+    times: int | None = None  # None = unlimited
+    skip: int = 0
+    fired: int = 0
+
+    @staticmethod
+    def parse(text: str) -> "FaultSpec":
+        """``site``, ``site:times`` or ``site:times@skip`` (``times`` may
+        be ``*`` for unlimited)."""
+        site, _, rest = text.strip().partition(":")
+        times: int | None = None
+        skip = 0
+        if rest:
+            count, _, after = rest.partition("@")
+            if count and count != "*":
+                times = int(count)
+            if after:
+                skip = int(after)
+        if not site:
+            raise ValueError(f"empty fault site in {text!r}")
+        return FaultSpec(site=site, times=times, skip=skip)
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed sites (site -> spec)."""
+
+    specs: dict[str, FaultSpec] = field(default_factory=dict)
+
+    @staticmethod
+    def parse(text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` syntax (comma-separated specs)."""
+        plan = FaultPlan()
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            spec = FaultSpec.parse(part)
+            plan.specs[spec.site] = spec
+        return plan
+
+    def add(self, site: str, *, times: int | None = None, skip: int = 0):
+        self.specs[site] = FaultSpec(site=site, times=times, skip=skip)
+        return self
+
+
+_LOCK = threading.Lock()
+_PLAN: FaultPlan | None = None  # None = not yet initialized from env
+#: Whether *we* set the walk-pool env hook (so clear() only unsets ours).
+_ARMED_WALK_POOL = False
+
+
+def _sync_walk_pool_env(plan: FaultPlan) -> None:
+    """The ``walk.pool`` site lives inside the generated C (getenv at
+    pool start), so arming/disarming it means setting the env hook."""
+    global _ARMED_WALK_POOL
+    if "walk.pool" in plan.specs:
+        if not os.environ.get(_WALK_POOL_ENV):
+            os.environ[_WALK_POOL_ENV] = "1"
+            _ARMED_WALK_POOL = True
+    elif _ARMED_WALK_POOL:
+        os.environ.pop(_WALK_POOL_ENV, None)
+        _ARMED_WALK_POOL = False
+
+
+def _current() -> FaultPlan:
+    """The active plan, initializing from ``$REPRO_FAULTS`` on first use."""
+    global _PLAN
+    if _PLAN is None:
+        text = os.environ.get(FAULTS_ENV, "")
+        _PLAN = FaultPlan.parse(text) if text else FaultPlan()
+        _sync_walk_pool_env(_PLAN)
+    return _PLAN
+
+
+def install(plan: FaultPlan) -> None:
+    """Replace the active plan (API arming)."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = plan
+        _sync_walk_pool_env(plan)
+
+
+def clear() -> None:
+    """Disarm everything (and re-read ``$REPRO_FAULTS`` on next use)."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = FaultPlan()
+        _sync_walk_pool_env(_PLAN)
+
+
+def active_sites() -> tuple[str, ...]:
+    with _LOCK:
+        return tuple(sorted(_current().specs))
+
+
+def fired(site: str) -> int:
+    """How many times ``site`` has fired under the active plan."""
+    with _LOCK:
+        spec = _current().specs.get(site)
+        return spec.fired if spec is not None else 0
+
+
+def fire(site: str) -> bool:
+    """Should this arrival at ``site`` fail?  (The one call sites make.)
+
+    Decrements the spec's budget under the lock, so concurrent workers
+    observe exactly ``times`` failures between them.
+    """
+    with _LOCK:
+        spec = _current().specs.get(site)
+        if spec is None:
+            return False
+        if spec.skip > 0:
+            spec.skip -= 1
+            return False
+        if spec.times is not None and spec.fired >= spec.times:
+            return False
+        spec.fired += 1
+        return True
+
+
+@contextmanager
+def injected(
+    site: str, *, times: int | None = None, skip: int = 0
+) -> Iterator[FaultSpec]:
+    """Arm one site for the duration of a ``with`` block (tests).
+
+    Composes with an existing plan: the site is added on entry and
+    removed on exit, other armed sites are untouched.
+    """
+    spec = FaultSpec(site=site, times=times, skip=skip)
+    with _LOCK:
+        plan = _current()
+        previous = plan.specs.get(site)
+        plan.specs[site] = spec
+        _sync_walk_pool_env(plan)
+    try:
+        yield spec
+    finally:
+        with _LOCK:
+            plan = _current()
+            if previous is None:
+                plan.specs.pop(site, None)
+            else:
+                plan.specs[site] = previous
+            _sync_walk_pool_env(plan)

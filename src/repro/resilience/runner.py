@@ -1,0 +1,222 @@
+"""The checkpointed block loop the execution driver delegates to.
+
+Splits a run's time range ``[t_start, t_end)`` at
+``CheckpointPolicy.every_dt`` boundaries and executes each block through
+the driver's range callback, snapshotting the grid after every block.
+Between blocks the grid is globally consistent (every array written
+through the block's last level), which is the only place a trapezoidal
+run can snapshot: mid-walk, different space regions sit at different
+time levels.
+
+Blocking the time range this way cannot change results: the top-level
+trapezoid decomposition already cuts time first (``dt_threshold``
+bounds block height), and every grid point is computed exactly once, by
+the same kernel clone, from the same inputs, under *any* decomposition
+— so per-point FP sequences are identical and resumed runs finish
+bitwise-equal to uninterrupted ones.
+
+**The durable write happens off the compute path.**  At each boundary
+the runner copies the live buffers (tens of milliseconds) and hands the
+copy to a single background writer thread, which streams it to disk —
+checksum, fsync, atomic rename, prune — while the next block computes.
+A synchronous durable write of a laptop-scale grid costs hundreds of
+milliseconds of fsync; overlapped with the next block it costs only the
+in-memory copy.  Writes are strictly FIFO and the runner joins the
+writer before returning, so the on-disk history is always a clean
+prefix of the run and ``RunReport.checkpoints_written`` is exact.  The
+queue is bounded: if the disk cannot keep up with the cadence, the
+runner blocks at the *next* boundary rather than buffering unbounded
+snapshots.
+
+The boundary snapshot is also the **retry** state: under a checkpoint
+policy each block gets one retry (partial execution overwrites the
+modular buffer's *input* slots once a block spans ``slots`` levels, so
+a failed block cannot simply be re-run).  On any exception the runner
+restores the previous boundary's snapshot in place and re-executes the
+block once; a second failure propagates — by then a real bug, not a
+transient, is the likely cause.  Without a policy no snapshot is taken
+and failures propagate immediately, keeping the default path copy-free.
+
+A failed checkpoint *write* (unwritable directory, disk full) never
+kills a run that can still compute: the failure is recorded as a
+``checkpoint:write-failed`` degradation and the run continues with
+whatever durable history it has.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import threading
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.resilience import degradations, faults
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointPolicy,
+    load_checkpoint,
+    newest_valid,
+    problem_signature_of,
+    prune,
+    write_checkpoint_arrays,
+)
+
+
+def _resolve_resume(problem, resume_from) -> Checkpoint | None:
+    """Turn ``RunOptions.resume_from`` into a restorable checkpoint.
+
+    * a :class:`Checkpoint` — used as-is (signature/range checked by
+      the caller/restore);
+    * a directory — newest valid checkpoint for this problem whose
+      ``t_next`` lies in ``(t_start, t_end]``; none found reads as
+      "cold start" with a degradation note, never an error;
+    * a file — loaded directly; if it is damaged, falls back to the
+      newest valid sibling in its directory (note), then cold start
+      (note).  A *wrong-problem* file is a caller error and raises.
+    """
+    if resume_from is None:
+        return None
+    if isinstance(resume_from, Checkpoint):
+        return resume_from
+    path = Path(resume_from)
+    if path.is_dir():
+        ckpt = newest_valid(path, problem)
+        if ckpt is None:
+            degradations.note("checkpoint:no-valid-checkpoint->cold-start")
+        return ckpt
+    try:
+        return load_checkpoint(path)
+    except CheckpointError:
+        degradations.note("checkpoint:corrupt-skipped")
+        ckpt = newest_valid(path.parent, problem)
+        if ckpt is None:
+            degradations.note("checkpoint:no-valid-checkpoint->cold-start")
+        return ckpt
+
+
+class _CheckpointWriter:
+    """Single background thread flushing boundary snapshots durably.
+
+    FIFO by construction (one thread, one queue), so checkpoint files
+    always land in time order and a crash leaves a clean prefix.  The
+    ``checkpoint.kill`` fault fires here, right *after* a durable write
+    — the kill-resume harness's power-cut moment — and :meth:`close`
+    joins the thread, so the kill always lands before the run returns.
+    """
+
+    _QUEUE_DEPTH = 2  # pending snapshots; bounds memory, not history
+
+    def __init__(self, directory: Path, signature: str, keep: int) -> None:
+        self._dir = directory
+        self._signature = signature
+        self._keep = keep
+        self._queue: queue.Queue = queue.Queue(maxsize=self._QUEUE_DEPTH)
+        self.written = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-checkpoint-writer", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, arrays: dict[str, np.ndarray], t_next: int) -> None:
+        """Enqueue a stable snapshot (blocks if the disk is behind)."""
+        self._queue.put((arrays, t_next))
+
+    def close(self) -> None:
+        """Flush every pending snapshot and stop the thread."""
+        self._queue.put(None)
+        self._thread.join()
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            arrays, t_next = item
+            try:
+                write_checkpoint_arrays(
+                    self._dir, self._signature, arrays, t_next
+                )
+                self.written += 1
+                if faults.fire("checkpoint.kill"):
+                    # Die the way a power cut would, right after a
+                    # checkpoint landed.  SIGKILL is not catchable, so
+                    # nothing can "clean up" and mask durability bugs.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                prune(self._dir, self._signature, self._keep)
+            except Exception:
+                degradations.note("checkpoint:write-failed")
+
+
+def _snapshot(problem) -> dict[str, np.ndarray]:
+    return {name: arr.data.copy() for name, arr in problem.arrays.items()}
+
+
+def execute_blocks(
+    problem,
+    report,
+    run_range: Callable[[int, int], None],
+    *,
+    policy: CheckpointPolicy | None,
+    resume_from=None,
+) -> None:
+    """Run ``[problem.t_start, problem.t_end)`` as checkpointed blocks.
+
+    ``run_range(a, b)`` executes output levels ``[a, b)`` and
+    accumulates into ``report``; this function owns resume, blocking,
+    retry, checkpoint writes, and pruning.  With neither a policy nor a
+    resume source the whole range runs as one block with no snapshots —
+    the exact non-resilient path.
+    """
+    t_first = problem.t_start
+    ckpt = _resolve_resume(problem, resume_from)
+    if ckpt is not None:
+        if not problem.t_start < ckpt.t_next <= problem.t_end:
+            raise CheckpointError(
+                f"checkpoint {ckpt.path or ''} resumes at t={ckpt.t_next}, "
+                f"outside this run's range "
+                f"({problem.t_start}, {problem.t_end}]"
+            )
+        ckpt.restore_into(problem)
+        t_first = ckpt.t_next
+        report.resumed_from = ckpt.t_next
+    if t_first >= problem.t_end:
+        return  # the checkpoint already covers the whole run
+
+    if policy is None:
+        run_range(t_first, problem.t_end)
+        return
+
+    writer = _CheckpointWriter(
+        policy.dir, problem_signature_of(problem), policy.keep
+    )
+    try:
+        # The boundary snapshot is both the next block's rollback state
+        # and the checkpoint payload: one copy serves both, and handing
+        # the copy (never the live buffers) to the writer keeps the
+        # flush race-free against the next block's compute.
+        snap = _snapshot(problem)
+        for a in range(t_first, problem.t_end, policy.every_dt):
+            b = min(a + policy.every_dt, problem.t_end)
+            try:
+                run_range(a, b)
+            except Exception:
+                # Partial execution has overwritten input slots of the
+                # modular buffers; roll back to the block's start (in
+                # place — compiled kernels prebind the buffer
+                # addresses).
+                for name, arr in problem.arrays.items():
+                    arr.data[...] = snap[name]
+                degradations.note("executor:block-retried")
+                run_range(a, b)
+            snap = _snapshot(problem)
+            writer.submit(snap, b)
+    finally:
+        # Flush even when a block failed twice: the durable history
+        # stays a clean prefix of whatever completed.
+        writer.close()
+        report.checkpoints_written += writer.written

@@ -27,11 +27,15 @@ arrays) and stores the winner for every later process on this machine.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
+from dataclasses import replace as _dc_replace
 
 from repro.errors import SpecificationError
 from repro.language.stencil import Problem, RunOptions, RunReport
+from repro.resilience import degradations
+from repro.resilience.runner import execute_blocks
 from repro.trap.loops import run_loops
 from repro.trap.executor import (
     default_workers,
@@ -178,6 +182,7 @@ def _consult_registry(
             applied = _apply_tuned(problem, options, result.config)
             return applied, "tuned" if applied is not options else source
     except Exception as exc:  # pragma: no cover - defensive: see docstring
+        degradations.note("autotune:registry-unavailable->heuristics")
         warnings.warn(
             f"autotune registry unavailable ({exc!r}); "
             f"falling back to heuristics",
@@ -187,51 +192,17 @@ def _consult_registry(
     return options, source
 
 
-def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
-    """Compile, decompose (or loop), execute; return the run report."""
-    from repro.compiler.pipeline import compile_kernel
-
-    report = RunReport(
-        algorithm=options.algorithm,
-        mode="",
-        t_start=problem.t_start,
-        t_end=problem.t_end,
-    )
-    if problem.steps == 0:
-        return report
-    options, report.autotune_source = _consult_registry(problem, options)
-
-    compiled = compile_kernel(problem, options.mode)
-    report.mode = compiled.mode
-    if not options.fuse_leaves:
-        compiled = compiled.without_fused_leaves()
-
-    if options.algorithm in ("loops", "serial_loops"):
-        parallel = options.algorithm == "loops"
-        if parallel:
-            report.n_workers = default_workers(options.n_workers)
-        report.executor = "loops" if parallel else "serial"
-        t0 = time.perf_counter()
-        invocations, busy = run_loops(
-            problem,
-            compiled,
-            parallel=parallel,
-            n_workers=options.n_workers,
-        )
-        report.elapsed = time.perf_counter() - t0
-        report.busy_time = busy
-        report.points_updated = problem.total_points
-        report.base_cases = invocations
-        return report
-
-    executor, n_workers = options.resolve_executor()
-    if compiled.walk_par is not None:
-        report.walk_threads = options.resolve_walk_threads()
-    # Pool counters are accumulated in a per-kernel C buffer; diffing a
-    # snapshot around the run yields this run's share (best-effort under
-    # concurrent runs of the same kernel, exact otherwise).
-    walk_stats0 = compiled.walk_stats_snapshot()
-
+def _execute_range(
+    problem: Problem,
+    options: RunOptions,
+    compiled,
+    report: RunReport,
+    executor: str,
+    n_workers: int,
+) -> None:
+    """Decompose and execute one time range, *accumulating* into the
+    report — the resilience runner calls this once per checkpointed
+    block (once total when checkpointing is off)."""
     # One timing window for every executor: decomposition + scheduling
     # structure + execution.  The serial stream interleaves walking with
     # running, so including plan/graph construction for the parallel
@@ -263,22 +234,115 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
         elif executor == "threads":
             region_stats = plan_stats(plan)
 
-    walk_stats1 = compiled.walk_stats_snapshot()
-    report.walk_spawned = walk_stats1[0] - walk_stats0[0]
-    report.walk_stolen = walk_stats1[1] - walk_stats0[1]
-    report.walk_barriers = walk_stats1[2] - walk_stats0[2]
-
     report.executor = stats.executor
-    report.n_workers = stats.n_workers
-    report.elapsed = elapsed
-    report.busy_time = stats.busy_time
-    report.base_cases = stats.base_cases
+    # max, not last-wins: a short final block may degenerate to the
+    # serial elision (n_workers=1) without changing the run's strategy.
+    report.n_workers = max(report.n_workers, stats.n_workers)
+    report.elapsed += elapsed
+    report.busy_time += stats.busy_time
+    base_cases = stats.base_cases
     if options.collect_stats and region_stats is not None:
-        report.points_updated = region_stats.points
-        report.base_cases = region_stats.base_cases
-        report.interior_base_cases = region_stats.interior_base_cases
-        report.boundary_base_cases = region_stats.boundary_base_cases
-        report.subtree_tasks = region_stats.subtree_tasks
+        report.points_updated += region_stats.points
+        base_cases = region_stats.base_cases
+        report.interior_base_cases += region_stats.interior_base_cases
+        report.boundary_base_cases += region_stats.boundary_base_cases
+        report.subtree_tasks += region_stats.subtree_tasks
     else:
-        report.points_updated = problem.total_points
+        report.points_updated += problem.total_points
+    report.base_cases += base_cases
+
+
+def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
+    """Compile, decompose (or loop), execute; return the run report.
+
+    Degradation notes fired anywhere below (compiler fallbacks, cache
+    evictions, registry damage, checkpoint skips, executor retries) are
+    collected into ``report.degradations``; under a
+    ``RunOptions.checkpoint`` policy (or ``resume_from``) the time range
+    runs as checkpointed blocks via
+    :func:`repro.resilience.runner.execute_blocks`.
+    """
+    from repro.compiler.pipeline import compile_kernel_resilient, resolve_mode
+
+    report = RunReport(
+        algorithm=options.algorithm,
+        mode="",
+        t_start=problem.t_start,
+        t_end=problem.t_end,
+    )
+    if problem.steps == 0:
+        return report
+    with degradations.collect(report.degradations):
+        options, report.autotune_source = _consult_registry(problem, options)
+
+        compiled = compile_kernel_resilient(problem, options.mode)
+        report.mode = compiled.mode
+        if resolve_mode(options.mode) != compiled.mode:
+            # The compile degraded (C backend unusable): rewrite the
+            # requested mode so coarsening geometry, compiled-walk
+            # resolution, and any later per-block compile all follow
+            # the backend that will actually run.
+            options = _dc_replace(options, mode=compiled.mode)
+        if not options.fuse_leaves:
+            compiled = compiled.without_fused_leaves()
+
+        if options.algorithm in ("loops", "serial_loops"):
+            parallel = options.algorithm == "loops"
+            if parallel:
+                report.n_workers = default_workers(options.n_workers)
+            report.executor = "loops" if parallel else "serial"
+
+            def run_loop_range(a: int, b: int) -> None:
+                sub = _dc_replace(problem, t_start=a, t_end=b)
+                t0 = time.perf_counter()
+                invocations, busy = run_loops(
+                    sub,
+                    compiled,
+                    parallel=parallel,
+                    n_workers=options.n_workers,
+                )
+                report.elapsed += time.perf_counter() - t0
+                report.busy_time += busy
+                report.points_updated += sub.total_points
+                report.base_cases += invocations
+
+            execute_blocks(
+                problem,
+                report,
+                run_loop_range,
+                policy=options.checkpoint,
+                resume_from=options.resume_from,
+            )
+            return report
+
+        executor, n_workers = options.resolve_executor()
+        if compiled.walk_par is not None:
+            report.walk_threads = options.resolve_walk_threads()
+        # Pool counters are accumulated in a per-kernel C buffer; diffing
+        # a snapshot around the run yields this run's share (best-effort
+        # under concurrent runs of the same kernel, exact otherwise).
+        walk_stats0 = compiled.walk_stats_snapshot()
+
+        def run_range(a: int, b: int) -> None:
+            sub = _dc_replace(problem, t_start=a, t_end=b)
+            _execute_range(sub, options, compiled, report, executor, n_workers)
+
+        execute_blocks(
+            problem,
+            report,
+            run_range,
+            policy=options.checkpoint,
+            resume_from=options.resume_from,
+        )
+
+        walk_stats1 = compiled.walk_stats_snapshot()
+        report.walk_spawned = walk_stats1[0] - walk_stats0[0]
+        report.walk_stolen = walk_stats1[1] - walk_stats0[1]
+        report.walk_barriers = walk_stats1[2] - walk_stats0[2]
+        if report.walk_threads > 1 and os.environ.get("REPRO_WALK_POOL_FAIL"):
+            # The generated pool reads this env at start and degrades to
+            # the serial recursion inside the .so; Python only sees the
+            # env, so record the fallback here (covers both direct env
+            # arming and the faults registry's walk.pool site).
+            degradations.note("walk-pool:start-failed->serial")
     return report

@@ -40,6 +40,7 @@ from functools import partial
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ExecutionError
+from repro.resilience import degradations, faults
 from repro.trap.graph import TaskGraph, build_task_graph
 from repro.trap.plan import (
     BaseRegion,
@@ -272,6 +273,7 @@ def _run_subtree_python(region: BaseRegion, compiled: "CompiledKernel") -> None:
     """
     from repro.trap.walker import WalkOptions, WalkSpec, _events
 
+    degradations.note("compiled-walk:python-replay")
     assert region.walk is not None
     slopes, thresholds, dt_threshold, hyperspace = region.walk[:4]
     ndim = len(slopes)
@@ -522,6 +524,10 @@ def execute_dag(
                 state["in_flight"] += 1
             t0 = time.perf_counter()
             try:
+                if faults.fire("dag.worker"):
+                    raise ExecutionError(
+                        "injected fault: dag.worker — worker died mid-task"
+                    )
                 run_base_region(regions[nid], compiled)
             except BaseException as exc:  # propagate to the caller
                 with cond:

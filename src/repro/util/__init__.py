@@ -1,16 +1,31 @@
-"""Small shared utilities: timing, ASCII tables, integer math, CPUs."""
+"""Small shared utilities: timing, ASCII tables, integer math, CPUs,
+durable file writes."""
 
 from repro.util.timing import Timer, measure
 from repro.util.tables import Table
 from repro.util.intmath import ceil_div, floor_div, ilog2, is_pow2, next_pow2
 from repro.util.cpus import detect_cpu_count
+from repro.util.atomic import (
+    atomic_write_bytes,
+    atomic_write_chunks,
+    atomic_write_text,
+    durable_replace,
+    fsync_dir,
+    fsync_file,
+)
 
 __all__ = [
     "Timer",
     "measure",
     "Table",
+    "atomic_write_bytes",
+    "atomic_write_chunks",
+    "atomic_write_text",
     "ceil_div",
+    "durable_replace",
     "floor_div",
+    "fsync_dir",
+    "fsync_file",
     "ilog2",
     "is_pow2",
     "next_pow2",

@@ -1,0 +1,116 @@
+"""Crash-durable file writes shared by every on-disk store.
+
+The registry, the ``.so`` cache, and the checkpoint files all follow the
+same discipline: write a temp file in the destination directory, flush
+it to stable storage, atomically rename it over the destination, then
+flush the directory entry.  ``os.replace`` alone guarantees *atomicity*
+(readers see the old bytes or the new bytes, never a mix) but not
+*durability* — after a power loss the rename can survive while the data
+blocks it points at do not, which is exactly the torn state a
+checkpoint loader must never trust.  The ``fsync`` pair closes that
+window.
+
+All helpers degrade gracefully on filesystems that reject directory
+fsync (some network mounts do): durability becomes best-effort there,
+atomicity is unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def fsync_file(path: str | os.PathLike) -> None:
+    """Flush a file's data blocks to stable storage (best-effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """Flush a directory entry (the rename itself) to stable storage.
+
+    Windows cannot open directories; network filesystems may refuse the
+    fsync.  Both degrade to a no-op — atomic replace still holds.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(tmp: str | os.PathLike, dst: str | os.PathLike) -> None:
+    """``os.replace`` with the full fsync discipline around it.
+
+    For temp files produced by an external writer (the C compiler's
+    ``.so`` output): fsync the temp file, rename it into place, fsync
+    the containing directory so the rename survives power loss.
+    """
+    fsync_file(tmp)
+    os.replace(tmp, dst)
+    fsync_dir(Path(dst).parent)
+
+
+def atomic_write_chunks(path: str | os.PathLike, chunks) -> None:
+    """Atomically and durably write an iterable of buffers to ``path``.
+
+    The streaming form of :func:`atomic_write_bytes`: each chunk may be
+    any buffer-protocol object (``bytes``, ``memoryview``, a contiguous
+    NumPy array), written in order without ever concatenating them —
+    checkpoints stream tens of megabytes of grid data this way instead
+    of materializing one contiguous blob.  Same discipline: temp file in
+    the destination directory (same filesystem, so the rename is
+    atomic), ``fsync`` before and ``os.replace`` + directory ``fsync``
+    after.  A crash at any instant leaves either the old file or the
+    new file — never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as f:
+            for chunk in chunks:
+                f.write(chunk)
+            f.flush()
+            try:
+                os.fsync(f.fileno())
+            except OSError:
+                pass
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Atomically and durably write ``data`` to ``path``.
+
+    The single write helper the autotune registry, the ``.so`` cache's
+    source files, and the resilience checkpoints share; see
+    :func:`atomic_write_chunks` for the discipline.
+    """
+    atomic_write_chunks(path, (data,))
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    atomic_write_bytes(path, text.encode("utf-8"))

@@ -1,0 +1,93 @@
+"""The fault-plan registry: parsing, budgets, env arming, walk.pool."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_spec_parse_forms():
+    assert FaultSpec.parse("cc.fail") == FaultSpec("cc.fail")
+    assert FaultSpec.parse("cc.fail:3") == FaultSpec("cc.fail", times=3)
+    assert FaultSpec.parse("cc.fail:*") == FaultSpec("cc.fail", times=None)
+    assert FaultSpec.parse("checkpoint.kill:1@2") == FaultSpec(
+        "checkpoint.kill", times=1, skip=2
+    )
+    with pytest.raises(ValueError):
+        FaultSpec.parse(":3")
+
+
+def test_plan_parse_multiple():
+    plan = FaultPlan.parse("cc.fail:1, so.load , dag.worker:2@1")
+    assert set(plan.specs) == {"cc.fail", "so.load", "dag.worker"}
+    assert plan.specs["dag.worker"].times == 2
+    assert plan.specs["dag.worker"].skip == 1
+
+
+def test_fire_respects_times_and_skip():
+    faults.install(FaultPlan().add("x.site", times=2, skip=1))
+    assert faults.fire("x.site") is False  # skipped
+    assert faults.fire("x.site") is True
+    assert faults.fire("x.site") is True
+    assert faults.fire("x.site") is False  # budget spent
+    assert faults.fired("x.site") == 2
+    assert faults.fire("unarmed.site") is False
+
+
+def test_injected_composes_and_restores():
+    faults.install(FaultPlan().add("a.site"))
+    with faults.injected("b.site", times=1):
+        assert set(faults.active_sites()) == {"a.site", "b.site"}
+        assert faults.fire("b.site") is True
+        assert faults.fire("a.site") is True
+    assert faults.active_sites() == ("a.site",)
+
+
+def test_walk_pool_site_arms_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WALK_POOL_FAIL", raising=False)
+    with faults.injected("walk.pool"):
+        assert os.environ.get("REPRO_WALK_POOL_FAIL") == "1"
+    assert "REPRO_WALK_POOL_FAIL" not in os.environ
+
+
+def test_walk_pool_site_keeps_user_env(monkeypatch):
+    # A user-set hook must survive the plan's exit.
+    monkeypatch.setenv("REPRO_WALK_POOL_FAIL", "1")
+    with faults.injected("walk.pool"):
+        pass
+    assert os.environ.get("REPRO_WALK_POOL_FAIL") == "1"
+
+
+def test_env_arming_in_subprocess():
+    # The env path is what CI's kill-resume leg uses: a child process
+    # must pick the plan up with no code changes.
+    code = (
+        "from repro.resilience import faults; "
+        "print(faults.fire('cc.fail'), faults.fire('cc.fail'), "
+        "faults.fire('so.load'))"
+    )
+    env = dict(
+        os.environ,
+        REPRO_FAULTS="cc.fail:1",
+        PYTHONPATH=os.pathsep.join(
+            p for p in (os.environ.get("PYTHONPATH", ""), "src") if p
+        ),
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.split() == ["True", "False", "False"]

@@ -115,3 +115,58 @@ class TestTiming:
     def test_measure_returns_positive(self):
         t = measure(lambda: sum(range(100)), repeat=2, warmup=1)
         assert t > 0
+
+
+class TestAtomicWrites:
+    def test_atomic_write_bytes_roundtrip(self, tmp_path):
+        from repro.util import atomic_write_bytes
+
+        path = tmp_path / "nested" / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+        # Overwrite replaces wholesale, never appends.
+        atomic_write_bytes(path, b"v2")
+        assert path.read_bytes() == b"v2"
+
+    def test_atomic_write_text_roundtrip(self, tmp_path):
+        from repro.util import atomic_write_text
+
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, '{"k": 1}\n')
+        assert path.read_text() == '{"k": 1}\n'
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        from repro.util import atomic_write_bytes
+
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path, monkeypatch):
+        import repro.util.atomic as atomic
+
+        path = tmp_path / "blob.bin"
+        atomic.atomic_write_bytes(path, b"original")
+
+        real_replace = atomic.os.replace
+
+        def boom(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(atomic.os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic.atomic_write_bytes(path, b"new")
+        monkeypatch.setattr(atomic.os, "replace", real_replace)
+        assert path.read_bytes() == b"original"
+        # ... and the failed attempt's temp file is cleaned up.
+        assert [p.name for p in path.parent.iterdir()] == ["blob.bin"]
+
+    def test_durable_replace(self, tmp_path):
+        from repro.util import durable_replace
+
+        tmp = tmp_path / "incoming.tmp"
+        dst = tmp_path / "final.bin"
+        tmp.write_bytes(b"published")
+        durable_replace(tmp, dst)
+        assert dst.read_bytes() == b"published"
+        assert not tmp.exists()
