@@ -39,6 +39,7 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.resilience import Checkpoint, CheckpointPolicy, resume
+from repro.supervise import SuperviseOptions
 from repro.expr import (
     Param,
     eq_,
@@ -98,6 +99,7 @@ __all__ = [
     "ShapeViolationError",
     "SpecificationError",
     "Stencil",
+    "SuperviseOptions",
     "ZeroBoundary",
     "eq_",
     "fmath",

@@ -217,6 +217,7 @@ def tune_dispatch(
     worker_candidates: Sequence[int | None] | None = None,
     cwalk_candidates: Sequence[bool | None] = (None, False),
     wthreads_candidates: Sequence[int | None] | None = None,
+    executor_candidates: Sequence[str | None] = (None,),
     repeats: int = 1,
     max_sweeps: int = 2,
     algorithm: str = "trap",
@@ -231,8 +232,13 @@ def tune_dispatch(
     evaluations), ``walk_threads`` (``None`` = auto: the detected core
     count for the compiled walk's in-.so pthread pool, vs pinned serial —
     in-walk threads compete with DAG workers for the same cores, so the
-    right split is workload-dependent and worth measuring), and
-    ``n_workers``.  Defaults derive from the backend-aware heuristics
+    right split is workload-dependent and worth measuring),
+    ``n_workers``, and ``executor`` (``None`` = the run's auto rule;
+    include ``"procs"`` in ``executor_candidates`` to measure whether
+    supervised out-of-process execution pays for its shared-memory and
+    dispatch overhead on this workload — by default the axis is a
+    single ``None`` so the search spends nothing on it).  Defaults
+    derive from the backend-aware heuristics
     (a log grid around each default), and the descent *starts at* the
     heuristic configuration, so the tuned result can only match or beat
     it on the tuning workload.  ``algorithm`` selects the walk algorithm
@@ -294,6 +300,11 @@ def tune_dispatch(
         worker_candidates = tuple(sorted({1, min(4, cpus), cpus}))
     axes.append(("workers", tuple(worker_candidates)))
     start["workers"] = worker_candidates[0]
+    for cand in executor_candidates:
+        if cand is not None and cand not in ("serial", "threads", "dag", "procs"):
+            raise AutotuneError(f"unknown executor candidate {cand!r}")
+    axes.append(("executor", tuple(executor_candidates)))
+    start["executor"] = executor_candidates[0]
 
     history: list[tuple[TunedConfig, float]] = []
 
@@ -307,6 +318,7 @@ def tune_dispatch(
             n_workers=cfg["workers"],
             compiled_walk=cfg["cwalk"],
             walk_threads=cfg["wthreads"],
+            executor=cfg["executor"],
         )
 
     def run_point(key: tuple) -> float:
@@ -320,6 +332,7 @@ def tune_dispatch(
                 space_thresholds=config.space_thresholds,
                 dt_threshold=config.dt_threshold,
                 fuse_leaves=config.fuse_leaves,
+                executor=config.executor or "auto",
                 n_workers=config.n_workers,
                 compiled_walk=config.compiled_walk,
                 walk_threads=config.walk_threads,

@@ -55,11 +55,13 @@ from repro.util import atomic_write_text
 #: worse).  History: 1 — original dispatch space; 2 — ``compiled_walk``
 #: knob added (subtree-task planning over the compiled interior
 #: recursion); 3 — ``walk_threads`` knob added (the in-.so pthread pool
-#: of the parallel compiled walk).  There is no in-place migration: a
-#: pre-bump file reads as empty and the next tune-on-miss rewrites it at
-#: the current version — re-tuning is cheap, misapplying a config tuned
-#: without the new knob is not.
-SCHEMA_VERSION = 3
+#: of the parallel compiled walk); 4 — ``executor`` knob added (which
+#: task runner dispatches base cases, including the supervised
+#: out-of-process ``"procs"`` executor).  There is no in-place
+#: migration: a pre-bump file reads as empty and the next tune-on-miss
+#: rewrites it at the current version — re-tuning is cheap, misapplying
+#: a config tuned without the new knob is not.
+SCHEMA_VERSION = 4
 
 _REGISTRY_LOCK = threading.Lock()
 
@@ -72,10 +74,12 @@ class TunedConfig:
     ``mode`` is a concrete codegen mode (or ``"auto"`` meaning "no
     preference"); ``n_workers`` ``None`` keeps the run's default,
     ``compiled_walk`` ``None`` keeps the run's auto rule (on for the C
-    backend), and ``walk_threads`` ``None`` keeps the run's auto rule
-    (detected core count).  ``best_time``/``evaluations``/
-    ``tuned_unix_time`` are provenance for inspection, not applied to
-    runs.
+    backend), ``walk_threads`` ``None`` keeps the run's auto rule
+    (detected core count), and ``executor`` ``None`` keeps the run's
+    auto rule (a tuned ``"procs"`` is applied only when the run's
+    options already permit supervision).  ``best_time``/
+    ``evaluations``/``tuned_unix_time`` are provenance for inspection,
+    not applied to runs.
     """
 
     space_thresholds: tuple[int, ...]
@@ -85,6 +89,7 @@ class TunedConfig:
     n_workers: int | None = None
     compiled_walk: bool | None = None
     walk_threads: int | None = None
+    executor: str | None = None
     best_time: float = 0.0
     evaluations: int = 0
     tuned_unix_time: float = 0.0
@@ -125,6 +130,11 @@ class TunedConfig:
             wthreads = int(wthreads)
             if wthreads < 1:
                 raise ValueError(f"bad walk_threads {wthreads}")
+        executor = obj.get("executor")
+        if executor is not None:
+            executor = str(executor)
+            if executor not in ("serial", "threads", "dag", "procs"):
+                raise ValueError(f"bad executor {executor!r}")
         return TunedConfig(
             space_thresholds=space,
             dt_threshold=dt,
@@ -133,6 +143,7 @@ class TunedConfig:
             n_workers=workers,
             compiled_walk=cwalk,
             walk_threads=wthreads,
+            executor=executor,
             best_time=float(obj.get("best_time", 0.0)),
             evaluations=int(obj.get("evaluations", 0)),
             tuned_unix_time=float(obj.get("tuned_unix_time", 0.0)),

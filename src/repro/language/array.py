@@ -16,6 +16,17 @@ The same object plays three roles, mirroring the paper's API:
 * **checked runtime access** ``read_at`` / ``write_at``, the Phase-1
   accessors that route off-domain reads through the registered boundary
   function.
+
+**The grid-as-view refactor** (supervised execution / sharding): the
+modular buffer is normally a private ndarray, but :meth:`PochoirArray.share`
+can rebind it as a *view onto an attachable* ``multiprocessing.shared_memory``
+segment.  A shared array pickles as a segment descriptor (name + shape,
+no payload bytes), and unpickling in another process attaches a zero-copy
+view onto the same physical pages — which is how the supervised executor
+hands worker subprocesses the live grid without serializing it.  Every
+rebind bumps :attr:`cache_token`, because compiled kernels prebind raw
+buffer addresses at compile time and must never be served against a
+buffer the array no longer owns.
 """
 
 from __future__ import annotations
@@ -113,6 +124,111 @@ class PochoirArray:
         #: Highest time level written so far (levels 0..depth-1 are assumed
         #: to be initialized by the user before the first run).
         self._latest = depth - 1
+        #: Shared-memory backing when promoted via :meth:`share`
+        #: (``None`` = private buffer).  ``_shm_owner`` distinguishes the
+        #: creating process (unlinks the segment) from attachers (close
+        #: only).
+        self._shm = None
+        self._shm_owner = False
+
+    # -- shared-memory backing (grid-as-view) --------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """Whether the buffer currently lives in an attachable segment."""
+        return self._shm is not None
+
+    def share(self) -> "PochoirArray":
+        """Move the modular buffer into a shared-memory segment (idempotent).
+
+        The contents are preserved; ``self.data`` becomes a view onto the
+        segment and :attr:`cache_token` is bumped so previously compiled
+        kernels (bound to the old private buffer) can never be served for
+        this array again.  Raises ``OSError`` where shared memory is
+        unavailable — callers degrade, they do not crash.
+        """
+        if self._shm is not None:
+            return self
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=self.data.nbytes)
+        view = np.ndarray(self.data.shape, dtype=self.data.dtype, buffer=shm.buf)
+        view[...] = self.data
+        self.data = view
+        self._shm = shm
+        self._shm_owner = True
+        self.cache_token = next(PochoirArray._token_counter)
+        return self
+
+    def unshare(self) -> "PochoirArray":
+        """Copy the buffer back to private memory and release the segment.
+
+        The owner unlinks the segment name; attachers only close their
+        mapping.  Compiled kernels cached against the shared view keep it
+        mapped until they are evicted, so a failing ``close`` (exported
+        views still alive) is tolerated — the segment is unlinked either
+        way and the pages go away with the last mapping.
+        """
+        if self._shm is None:
+            return self
+        shm, owner = self._shm, self._shm_owner
+        self._shm = None
+        self._shm_owner = False
+        self.data = self.data.copy()  # private again, contents preserved
+        self.cache_token = next(PochoirArray._token_counter)
+        try:
+            shm.close()
+        except BufferError:
+            pass  # a cached compiled kernel still holds the old view
+        if owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        return self
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if self._shm is not None:
+            # Pickle as a descriptor: the receiver attaches a zero-copy
+            # view onto the same segment instead of moving payload bytes.
+            state["data"] = None
+            state["_shm"] = None
+            state["_shm_owner"] = False
+            state["_shm_descriptor"] = (
+                self._shm.name,
+                self.data.shape,
+                str(self.data.dtype),
+            )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        descriptor = state.pop("_shm_descriptor", None)
+        self.__dict__.update(state)
+        if descriptor is None:
+            return
+        from multiprocessing import shared_memory
+
+        name, shape, dtype = descriptor
+        # Attach WITHOUT resource-tracker registration: the creator owns
+        # the segment's lifetime.  CPython < 3.13 tracks mere
+        # attachments too, so an attaching process's exit would unlink
+        # (or double-unregister) live state the creator still owns;
+        # 3.13+ exposes track=False, older versions need the register
+        # shim.
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # pragma: no cover - Python < 3.13
+            from multiprocessing import resource_tracker
+
+            orig_register = resource_tracker.register
+            resource_tracker.register = lambda *a, **kw: None
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = orig_register
+        self.data = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        self._shm = shm
+        self._shm_owner = False
 
     # -- registration ------------------------------------------------------
     def register_boundary(self, boundary: Boundary) -> "PochoirArray":

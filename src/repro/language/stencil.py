@@ -53,9 +53,24 @@ class RunOptions:
         ``"serial"`` (serial elision, streamed off the walker),
         ``"threads"`` (thread pool over barrier-separated waves),
         ``"dag"`` (ready-queue task-DAG runtime: no inter-wave barriers),
-        or ``"auto"`` (the default: ``"dag"`` for ``algorithm="trap"``
-        with ``n_workers > 1``, ``"threads"`` for other plan algorithms
+        ``"procs"`` (the supervised out-of-process executor: worker
+        subprocesses attach zero-copy views onto shared-memory grid
+        segments and a driver-side supervisor enforces heartbeats, hang
+        deadlines, crash detection, and block rollback+retry — a
+        segfault in generated code kills a disposable worker, never the
+        job; degrades to ``"dag"`` with a recorded note when shared
+        memory or subprocess spawn is unavailable),
+        or ``"auto"`` (the default: ``"procs"`` when ``supervise`` is
+        set, else ``"dag"`` for ``algorithm="trap"`` with
+        ``n_workers > 1``, ``"threads"`` for other plan algorithms
         with ``n_workers > 1``, else ``"serial"``).
+    ``supervise``:
+        a :class:`repro.supervise.SuperviseOptions` tuning the
+        supervised executor's policy (heartbeat cadence, task-deadline
+        scaling, retry budget/backoff, start method).  Setting it
+        implies ``executor="procs"`` when the executor is left at
+        ``"auto"``; ``executor="procs"`` with ``supervise=None`` uses
+        the defaults.  Ignored (harmlessly) by in-process executors.
     ``fuse_leaves``:
         run base cases through the backend's fused leaf clone (the whole
         trapezoid time loop inside generated code — NumPy three-address
@@ -137,6 +152,7 @@ class RunOptions:
     autotune: str = "off"
     checkpoint: object | None = None
     resume_from: object | None = None
+    supervise: object | None = None
 
     def __post_init__(self) -> None:
         algorithms = ("trap", "strap", "loops", "serial_loops", "phase1")
@@ -149,11 +165,19 @@ class RunOptions:
             raise SpecificationError(
                 f"unknown mode {self.mode!r}; choose from {modes}"
             )
-        executors = ("auto", "serial", "threads", "dag")
+        executors = ("auto", "serial", "threads", "dag", "procs")
         if self.executor not in executors:
             raise SpecificationError(
                 f"unknown executor {self.executor!r}; choose from {executors}"
             )
+        if self.supervise is not None:
+            from repro.supervise import SuperviseOptions
+
+            if not isinstance(self.supervise, SuperviseOptions):
+                raise SpecificationError(
+                    f"supervise must be a SuperviseOptions or None, "
+                    f"got {type(self.supervise).__name__}"
+                )
         if self.n_workers is not None and self.n_workers < 1:
             raise SpecificationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
@@ -231,16 +255,20 @@ class RunOptions:
     def resolve_executor(self) -> tuple[str, int]:
         """Concrete (executor, worker count) for this option set.
 
-        ``"auto"`` picks the task-DAG runtime for TRAP whenever more than
-        one worker is requested; with ``n_workers`` unset the serial
-        elision runs (parallel execution is opt-in via ``n_workers``).
+        ``"auto"`` picks the supervised out-of-process executor when
+        ``supervise`` is set, else the task-DAG runtime for TRAP
+        whenever more than one worker is requested; with ``n_workers``
+        unset the serial elision runs (parallel execution is opt-in via
+        ``n_workers`` or ``supervise``).
         """
         from repro.trap.executor import default_workers
 
         executor = self.executor
         requested = self.n_workers
         if executor == "auto":
-            if requested is not None and requested > 1:
+            if self.supervise is not None:
+                executor = "procs"
+            elif requested is not None and requested > 1:
                 executor = "dag" if self.algorithm == "trap" else "threads"
             else:
                 executor = "serial"
@@ -312,6 +340,14 @@ class RunReport:
     checkpoints_written: int = 0
     #: First recomputed time level when resuming from a checkpoint.
     resumed_from: int | None = None
+    #: Supervised-executor counters: worker subprocesses killed and
+    #: replaced after a crash/hang (the whole worker set is respawned on
+    #: any loss, so one crash among N workers counts N), and task
+    #: dispatches whose effects were discarded by a block rollback and
+    #: re-executed.  Both zero on a clean run and for in-process
+    #: executors.
+    workers_respawned: int = 0
+    tasks_retried: int = 0
 
     @property
     def points_per_second(self) -> float:

@@ -25,6 +25,16 @@ Sites (each guarded by :func:`fire` at exactly one code location):
 ``checkpoint.kill``       SIGKILL this process immediately after a
                           checkpoint write lands (the kill-resume harness;
                           fired by the resilience runner itself)
+``worker.segfault``       a supervised worker subprocess dereferences a
+                          null pointer in native code mid-task — a real
+                          SIGSEGV, not a Python exception (consumed by the
+                          supervisor at dispatch; the doomed task is tagged)
+``worker.hang``           a supervised worker subprocess wedges forever
+                          mid-task (exercises the zoid-volume-scaled task
+                          deadline + heartbeat watchdog)
+``shm.attach``            the shared-memory segment for a supervised run
+                          cannot be created/attached (the executor degrades
+                          to the in-process ``"dag"`` runtime)
 ========================  ====================================================
 
 Arming:
@@ -40,6 +50,12 @@ Arming:
 
 Sites not named in the active plan never fire, and with no plan armed
 :func:`fire` is two dict lookups — safe to leave in production paths.
+
+Specs are validated *at install time*: a malformed ``site[:times][@skip]``
+string or an unknown site name raises ``ValueError`` immediately (from
+:meth:`FaultSpec.parse`, :meth:`FaultPlan.add`, :func:`install`, or
+:func:`injected`) instead of silently arming nothing — a typo'd
+``REPRO_FAULTS`` that never fires reads exactly like a passing test.
 """
 
 from __future__ import annotations
@@ -65,7 +81,32 @@ KNOWN_SITES = (
     "dag.worker",
     "walk.pool",
     "checkpoint.kill",
+    "worker.segfault",
+    "worker.hang",
+    "shm.attach",
 )
+
+
+def _check_site(site: str, text: str | None = None) -> None:
+    if site not in KNOWN_SITES:
+        where = f" in {text!r}" if text is not None else ""
+        raise ValueError(
+            f"unknown fault site {site!r}{where}; known sites: "
+            f"{', '.join(KNOWN_SITES)}"
+        )
+
+
+def _parse_count(token: str, what: str, text: str) -> int:
+    try:
+        value = int(token)
+    except ValueError:
+        raise ValueError(
+            f"bad {what} {token!r} in fault spec {text!r}; expected an "
+            f"integer (syntax: site[:times][@skip], times may be '*')"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{what} must be >= 0 in fault spec {text!r}")
+    return value
 
 
 @dataclass
@@ -77,21 +118,36 @@ class FaultSpec:
     skip: int = 0
     fired: int = 0
 
+    def __post_init__(self) -> None:
+        # Every construction path (parse, add, injected, direct) goes
+        # through here: an unarmed typo must fail loudly, at arm time.
+        _check_site(self.site)
+        if self.times is not None and self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.skip < 0:
+            raise ValueError(f"skip must be >= 0, got {self.skip}")
+
     @staticmethod
     def parse(text: str) -> "FaultSpec":
         """``site``, ``site:times`` or ``site:times@skip`` (``times`` may
-        be ``*`` for unlimited)."""
-        site, _, rest = text.strip().partition(":")
+        be ``*`` for unlimited).  Malformed strings and unknown sites
+        raise ``ValueError`` with the offending spec named."""
+        site, colon, rest = text.strip().partition(":")
         times: int | None = None
         skip = 0
-        if rest:
-            count, _, after = rest.partition("@")
-            if count and count != "*":
-                times = int(count)
-            if after:
-                skip = int(after)
+        if colon:
+            count, at, after = rest.partition("@")
+            if "@" in after:
+                raise ValueError(
+                    f"malformed fault spec {text!r}: more than one '@'"
+                )
+            if count != "*":
+                times = _parse_count(count, "times", text)
+            if at:
+                skip = _parse_count(after, "skip", text)
         if not site:
             raise ValueError(f"empty fault site in {text!r}")
+        _check_site(site, text)
         return FaultSpec(site=site, times=times, skip=skip)
 
 

@@ -40,7 +40,22 @@ and failures propagate immediately, keeping the default path copy-free.
 A failed checkpoint *write* (unwritable directory, disk full) never
 kills a run that can still compute: the failure is recorded as a
 ``checkpoint:write-failed`` degradation and the run continues with
-whatever durable history it has.
+whatever durable history it has.  A writer *thread* that dies outright
+is surfaced the same way, at the point of failure: the next boundary's
+``submit`` notices the dead thread, records ``checkpoint:writer-died``,
+and drops the snapshot instead of blocking forever on a queue nobody
+drains — durability silently stopping mid-run is precisely the failure
+a resilience layer must not hide.
+
+**Graceful shutdown**: while a checkpointed run is executing on the
+main thread, SIGTERM and SIGINT are converted into an orderly exit —
+the current (partial) block is abandoned, every already-queued boundary
+snapshot is flushed durably, a ``shutdown:signal->final-checkpoint``
+note is recorded, and the process exits nonzero (``128 + signum``, the
+shell convention).  A later run with ``resume_from`` picks up from the
+flushed history exactly as after a kill.  The previous handlers are
+restored on the way out, and non-main-thread runs (where Python forbids
+``signal.signal``) skip installation entirely.
 """
 
 from __future__ import annotations
@@ -107,6 +122,13 @@ class _CheckpointWriter:
     ``checkpoint.kill`` fault fires here, right *after* a durable write
     — the kill-resume harness's power-cut moment — and :meth:`close`
     joins the thread, so the kill always lands before the run returns.
+
+    Per-item write failures degrade to ``checkpoint:write-failed`` notes
+    and the thread keeps draining.  If the thread itself dies (anything
+    escaping the per-item handler), :meth:`submit` surfaces it *at the
+    next boundary* as a ``checkpoint:writer-died`` note instead of
+    blocking on a queue nobody will ever drain — and :meth:`close` skips
+    the sentinel so teardown cannot hang either.
     """
 
     _QUEUE_DEPTH = 2  # pending snapshots; bounds memory, not history
@@ -117,19 +139,47 @@ class _CheckpointWriter:
         self._keep = keep
         self._queue: queue.Queue = queue.Queue(maxsize=self._QUEUE_DEPTH)
         self.written = 0
+        #: The exception that killed the writer thread, if any (set by
+        #: the thread itself; read by submit/close for surfacing).
+        self.failure: BaseException | None = None
         self._thread = threading.Thread(
-            target=self._loop, name="repro-checkpoint-writer", daemon=True
+            target=self._run, name="repro-checkpoint-writer", daemon=True
         )
         self._thread.start()
 
     def submit(self, arrays: dict[str, np.ndarray], t_next: int) -> None:
-        """Enqueue a stable snapshot (blocks if the disk is behind)."""
-        self._queue.put((arrays, t_next))
+        """Enqueue a stable snapshot (blocks if the disk is behind).
+
+        A dead writer thread is reported here — at the point of failure
+        — as a ``checkpoint:writer-died`` degradation; the snapshot is
+        dropped and the run continues with its existing durable prefix.
+        """
+        while True:
+            if not self._thread.is_alive():
+                degradations.note("checkpoint:writer-died")
+                return
+            try:
+                self._queue.put((arrays, t_next), timeout=0.5)
+                return
+            except queue.Full:
+                # Re-check liveness: a thread that died while the queue
+                # was full would otherwise block this put forever.
+                continue
 
     def close(self) -> None:
         """Flush every pending snapshot and stop the thread."""
-        self._queue.put(None)
+        if self._thread.is_alive():
+            self._queue.put(None)
         self._thread.join()
+        if self.failure is not None:
+            degradations.note("checkpoint:writer-died")
+
+    def _run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:  # the thread is now dead; surface it
+            self.failure = exc
+            degradations.note("checkpoint:writer-died")
 
     def _loop(self) -> None:
         while True:
@@ -154,6 +204,50 @@ class _CheckpointWriter:
 
 def _snapshot(problem) -> dict[str, np.ndarray]:
     return {name: arr.data.copy() for name, arr in problem.arrays.items()}
+
+
+class ShutdownRequested(BaseException):
+    """Raised by the runner's signal handler mid-block.
+
+    A ``BaseException`` deliberately: the block loop's rollback-retry
+    path catches ``Exception``, and a shutdown request must *not* be
+    retried — it must abandon the partial block, flush the writer, and
+    exit.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"shutdown requested by signal {signum}")
+        self.signum = signum
+
+
+def _install_shutdown_handlers():
+    """Convert SIGTERM/SIGINT into :class:`ShutdownRequested` for the
+    duration of a checkpointed run.  Returns the previous handlers to
+    restore (or ``None`` off the main thread, where installing is both
+    forbidden and unnecessary — the main thread still owns delivery)."""
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def handler(signum, frame):
+        raise ShutdownRequested(signum)
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+    return previous
+
+
+def _restore_shutdown_handlers(previous) -> None:
+    if not previous:
+        return
+    for sig, old in previous.items():
+        try:
+            signal.signal(sig, old)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
 
 
 def execute_blocks(
@@ -194,6 +288,8 @@ def execute_blocks(
     writer = _CheckpointWriter(
         policy.dir, problem_signature_of(problem), policy.keep
     )
+    handlers = _install_shutdown_handlers()
+    shutdown: ShutdownRequested | None = None
     try:
         # The boundary snapshot is both the next block's rollback state
         # and the checkpoint payload: one copy serves both, and handing
@@ -204,6 +300,8 @@ def execute_blocks(
             b = min(a + policy.every_dt, problem.t_end)
             try:
                 run_range(a, b)
+            except ShutdownRequested:
+                raise
             except Exception:
                 # Partial execution has overwritten input slots of the
                 # modular buffers; roll back to the block's start (in
@@ -215,8 +313,18 @@ def execute_blocks(
                 run_range(a, b)
             snap = _snapshot(problem)
             writer.submit(snap, b)
+    except ShutdownRequested as exc:
+        # SIGTERM/SIGINT mid-run: abandon the partial block (its effects
+        # are not snapshotted, so durable history stays consistent),
+        # flush everything already queued, exit nonzero.  A resume_from
+        # run then continues from the flushed prefix, bitwise-identical.
+        shutdown = exc
+        degradations.note("shutdown:signal->final-checkpoint")
     finally:
+        _restore_shutdown_handlers(handlers)
         # Flush even when a block failed twice: the durable history
         # stays a clean prefix of whatever completed.
         writer.close()
         report.checkpoints_written += writer.written
+    if shutdown is not None:
+        raise SystemExit(128 + shutdown.signum)

@@ -1,0 +1,111 @@
+"""Policy knobs for the supervised (``"procs"``) executor.
+
+Kept in a leaf module so :mod:`repro.language.stencil` can validate a
+``RunOptions.supervise`` value without importing the session machinery
+(which imports the executor stack and multiprocessing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class SuperviseOptions:
+    """How the supervisor watches, kills, and retries its workers.
+
+    ``heartbeat_interval`` / ``heartbeat_timeout``:
+        workers emit a heartbeat from a background thread every
+        ``heartbeat_interval`` seconds while attached; a worker silent
+        for ``heartbeat_timeout`` seconds *while owing a task result* is
+        declared lost (catches frozen/SIGSTOP'd processes that are
+        technically alive).
+    ``task_deadline_floor`` / ``task_deadline_per_mpoint``:
+        the hang watchdog's per-task deadline is
+        ``floor + per_mpoint * (task zoid volume / 1e6)`` seconds —
+        scaled to the work actually dispatched, so a big compiled
+        subtree walk is not mistaken for a hang.  The per-Mpoint budget
+        defaults far above any backend's real per-point cost.
+    ``max_block_retries``:
+        how many times one trapezoid-time-block may be rolled back and
+        re-run after a worker loss before the run fails.
+    ``retry_backoff``:
+        sleep before retry ``k`` is ``retry_backoff * 2**(k-1)`` seconds
+        (transient resource exhaustion wants breathing room; injected
+        faults in tests set this near zero).
+    ``attach_timeout``:
+        how long to wait for a fresh worker to import, attach the
+        shared segments, and compile its kernel before giving up on
+        session creation (cold spawn + a cold ``.so`` build can be
+        slow; cache hits are not).
+    ``pipeline_depth``:
+        ready tasks queued to one worker ahead of completion.  At depth
+        1 every task costs a full supervisor round trip of idle worker
+        time — and, on a host where supervisor and worker share cores,
+        a supervisor wake-up per task that steals CPU from the kernel
+        itself.  Deeper pipelines amortise both: tasks ship in batched
+        messages, and the worker coalesces its completion acks (flushed
+        every ``pipeline_depth // 2`` tasks, or the moment it would
+        otherwise idle), dividing the per-task supervision tax by the
+        batch size.  The watchdog arms a deadline only for the head of
+        a worker's queue, budgeted for the whole span of tasks the
+        worker may legitimately run before that head's ack flushes — so
+        deep pipelines do not misread "acks still coalescing" as a
+        hang.
+    ``start_method``:
+        multiprocessing start method for workers.  ``"spawn"``
+        (default) is immune to fork-with-locks hazards; ``"fork"`` is
+        faster to start where safe.
+    """
+
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 10.0
+    task_deadline_floor: float = 10.0
+    task_deadline_per_mpoint: float = 5.0
+    max_block_retries: int = 3
+    retry_backoff: float = 0.5
+    attach_timeout: float = 120.0
+    pipeline_depth: int = 16
+    start_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise SpecificationError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise SpecificationError(
+                "heartbeat_timeout must exceed heartbeat_interval "
+                f"({self.heartbeat_timeout} <= {self.heartbeat_interval})"
+            )
+        if self.task_deadline_floor <= 0 or self.task_deadline_per_mpoint < 0:
+            raise SpecificationError("task deadline knobs must be positive")
+        if self.max_block_retries < 0:
+            raise SpecificationError(
+                f"max_block_retries must be >= 0, got {self.max_block_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise SpecificationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.attach_timeout <= 0:
+            raise SpecificationError(
+                f"attach_timeout must be > 0, got {self.attach_timeout}"
+            )
+        if self.pipeline_depth < 1:
+            raise SpecificationError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise SpecificationError(
+                f"unknown start_method {self.start_method!r}; "
+                f"choose from ('spawn', 'fork', 'forkserver')"
+            )
+
+    def deadline_for(self, volume: int) -> float:
+        """Seconds a task covering ``volume`` grid points may take."""
+        return self.task_deadline_floor + self.task_deadline_per_mpoint * (
+            max(0, volume) / 1e6
+        )

@@ -13,6 +13,10 @@ Executor dispatch (``RunOptions.resolve_executor``):
 * ``"dag"`` — folds the event stream into a dependency-counted
   :class:`~repro.trap.graph.TaskGraph` (still no tree) and runs the
   ready-queue executor.
+* ``"procs"`` — the same task graph, dispatched by a driver-side
+  supervisor to worker *subprocesses* attached to shared-memory grid
+  segments (:mod:`repro.supervise`); degrades to ``"dag"`` with a
+  recorded note when shared memory or spawn is unavailable.
 
 It also owns the autotune-registry integration
 (``RunOptions.autotune``): before compiling, a ``"use"`` or
@@ -107,7 +111,7 @@ def _apply_tuned(problem: Problem, options: RunOptions, tuned) -> RunOptions:
 
     Only knobs still at their defaults are filled: explicit
     ``space_thresholds``/``dt_threshold``/``mode``/``n_workers``/
-    ``compiled_walk`` win over the tuned values, and
+    ``compiled_walk``/``executor`` win over the tuned values, and
     ``fuse_leaves=False`` (the ablation setting) is never overridden.  Threshold merging (including the
     grid clamp) lives in :func:`repro.trap.coarsening.tuned_thresholds`
     so the walker and the registry agree on the final geometry.
@@ -139,6 +143,8 @@ def _apply_tuned(problem: Problem, options: RunOptions, tuned) -> RunOptions:
         updates["compiled_walk"] = tuned.compiled_walk
     if options.walk_threads is None and tuned.walk_threads is not None:
         updates["walk_threads"] = tuned.walk_threads
+    if options.executor == "auto" and tuned.executor is not None:
+        updates["executor"] = tuned.executor
     return _replace(options, **updates) if updates else options
 
 
@@ -199,6 +205,7 @@ def _execute_range(
     report: RunReport,
     executor: str,
     n_workers: int,
+    session=None,
 ) -> None:
     """Decompose and execute one time range, *accumulating* into the
     report — the resilience runner calls this once per checkpointed
@@ -217,6 +224,12 @@ def _execute_range(
     elif executor == "dag":
         graph = build_task_graph(build_events(problem, options))
         stats = execute_dag(graph, compiled, n_workers)
+    elif executor == "procs":
+        # The supervised session owns compilation (each worker binds its
+        # own kernel against the shared segments); the driver only
+        # builds the graph and supervises.
+        graph = build_task_graph(build_events(problem, options))
+        stats = session.run_graph(graph)
     elif executor == "threads":
         plan = build_plan(problem, options)
         stats = execute_waves(plan, compiled, n_workers)
@@ -229,7 +242,7 @@ def _execute_range(
     # only once, so its (cheap) accounting runs inline above.
     region_stats = stats.region_stats
     if region_stats is None and options.collect_stats:
-        if executor == "dag":
+        if executor in ("dag", "procs"):
             region_stats = stats_from_regions(graph.iter_regions())
         elif executor == "threads":
             region_stats = plan_stats(plan)
@@ -316,24 +329,57 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
             return report
 
         executor, n_workers = options.resolve_executor()
+        session = None
+        if executor == "procs":
+            # Promote the grid into shared segments and lease worker
+            # subprocesses.  On any unavailability (no shm, spawn
+            # blocked, unpicklable problem) this returns None with a
+            # recorded note and the run degrades to the in-process DAG
+            # executor.  Either way the arrays may have been rebound
+            # (share bumps cache tokens), so recompile on the degrade
+            # path — a no-op cache hit when nothing was rebound.
+            from repro.supervise.session import open_session
+
+            session = open_session(
+                problem,
+                options.supervise,
+                options.fuse_leaves,
+                compiled.mode,
+                n_workers,
+                report,
+            )
+            if session is None:
+                executor = "dag"
+                compiled = compile_kernel_resilient(problem, options.mode)
+                if not options.fuse_leaves:
+                    compiled = compiled.without_fused_leaves()
         if compiled.walk_par is not None:
             report.walk_threads = options.resolve_walk_threads()
         # Pool counters are accumulated in a per-kernel C buffer; diffing
         # a snapshot around the run yields this run's share (best-effort
-        # under concurrent runs of the same kernel, exact otherwise).
+        # under concurrent runs of the same kernel, exact otherwise;
+        # supervised runs execute the walk in worker processes, so their
+        # pool counters stay zero here).
         walk_stats0 = compiled.walk_stats_snapshot()
 
         def run_range(a: int, b: int) -> None:
             sub = _dc_replace(problem, t_start=a, t_end=b)
-            _execute_range(sub, options, compiled, report, executor, n_workers)
+            _execute_range(
+                sub, options, compiled, report, executor, n_workers,
+                session=session,
+            )
 
-        execute_blocks(
-            problem,
-            report,
-            run_range,
-            policy=options.checkpoint,
-            resume_from=options.resume_from,
-        )
+        try:
+            execute_blocks(
+                problem,
+                report,
+                run_range,
+                policy=options.checkpoint,
+                resume_from=options.resume_from,
+            )
+        finally:
+            if session is not None:
+                session.close()
 
         walk_stats1 = compiled.walk_stats_snapshot()
         report.walk_spawned = walk_stats1[0] - walk_stats0[0]

@@ -38,22 +38,76 @@ def test_plan_parse_multiple():
 
 
 def test_fire_respects_times_and_skip():
-    faults.install(FaultPlan().add("x.site", times=2, skip=1))
-    assert faults.fire("x.site") is False  # skipped
-    assert faults.fire("x.site") is True
-    assert faults.fire("x.site") is True
-    assert faults.fire("x.site") is False  # budget spent
-    assert faults.fired("x.site") == 2
-    assert faults.fire("unarmed.site") is False
+    faults.install(FaultPlan().add("cc.fail", times=2, skip=1))
+    assert faults.fire("cc.fail") is False  # skipped
+    assert faults.fire("cc.fail") is True
+    assert faults.fire("cc.fail") is True
+    assert faults.fire("cc.fail") is False  # budget spent
+    assert faults.fired("cc.fail") == 2
+    assert faults.fire("so.load") is False  # known but unarmed
 
 
 def test_injected_composes_and_restores():
-    faults.install(FaultPlan().add("a.site"))
-    with faults.injected("b.site", times=1):
-        assert set(faults.active_sites()) == {"a.site", "b.site"}
-        assert faults.fire("b.site") is True
-        assert faults.fire("a.site") is True
-    assert faults.active_sites() == ("a.site",)
+    faults.install(FaultPlan().add("so.load"))
+    with faults.injected("dag.worker", times=1):
+        assert set(faults.active_sites()) == {"so.load", "dag.worker"}
+        assert faults.fire("dag.worker") is True
+        assert faults.fire("so.load") is True
+    assert faults.active_sites() == ("so.load",)
+
+
+class TestSpecValidation:
+    """Malformed specs and unknown sites fail loudly at install time —
+    a typo'd ``REPRO_FAULTS`` that silently arms nothing would report a
+    resilience test green without testing anything."""
+
+    def test_unknown_site_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec.parse("not.a.site")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("not.a.site")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan.parse("cc.fail, not.a.site:2")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan().add("not.a.site")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            with faults.injected("not.a.site"):
+                pass
+
+    def test_unknown_site_error_lists_known_sites(self):
+        with pytest.raises(ValueError, match="cc.fail"):
+            FaultSpec.parse("not.a.site")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            ":3",
+            "@2",
+            "cc.fail:",
+            "cc.fail:x",
+            "cc.fail:-1",
+            "cc.fail:1@",
+            "cc.fail:1@x",
+            "cc.fail:1@-2",
+            "cc.fail:1@2@3",
+            "cc.fail:1:2",
+        ],
+    )
+    def test_malformed_spec_strings(self, text):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(text)
+
+    def test_direct_construction_validates_counts(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cc.fail", times=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("cc.fail", skip=-1)
+
+    def test_worker_sites_are_known(self):
+        for site in ("worker.segfault", "worker.hang", "shm.attach"):
+            plan = FaultPlan().add(site)
+            assert site in plan.specs
 
 
 def test_walk_pool_site_arms_env(monkeypatch):

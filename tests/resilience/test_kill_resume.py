@@ -81,6 +81,64 @@ def test_kill_then_resume_bitwise_identical(app_name, mode, tmp_path):
     np.testing.assert_array_equal(app.result(), ref)
 
 
+_SIGTERM_CHILD = """\
+import os
+import signal
+import sys
+import threading
+from repro.apps.registry import build
+from repro import CheckpointPolicy
+
+app_name, mode, ckpt_dir, every_dt, scale, delay = sys.argv[1:7]
+app = build(app_name, scale=scale)
+
+# Deliver SIGTERM from a thread once the run is underway; the runner's
+# handler must turn it into a flush-and-exit, not a traceback.
+threading.Timer(float(delay), os.kill, (os.getpid(), signal.SIGTERM)).start()
+app.run(
+    mode=mode,
+    checkpoint=CheckpointPolicy(dir=ckpt_dir, every_dt=int(every_dt), keep=10),
+)
+print("COMPLETED-WITHOUT-SIGNAL")
+"""
+
+
+def test_sigterm_flushes_final_checkpoint_and_resumes(tmp_path):
+    """Graceful shutdown: SIGTERM mid-run exits ``128+15``, leaves a
+    valid durable history, and a resumed run finishes bitwise equal."""
+    ref_app = build("heat2d", scale="small")
+    ref_app.run(mode="auto")
+    ref = ref_app.result()
+
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH", ""), "src") if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _SIGTERM_CHILD, "heat2d", "auto",
+         str(tmp_path), "1", "small", "1.5"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if "COMPLETED-WITHOUT-SIGNAL" in proc.stdout:
+        pytest.skip("run finished before the signal landed")
+    assert proc.returncode == 128 + signal.SIGTERM, (
+        f"graceful shutdown must exit 128+SIGTERM, got rc={proc.returncode}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    assert list(tmp_path.iterdir()), (
+        "the terminated run must flush durable checkpoints"
+    )
+
+    app = build("heat2d", scale="small")
+    report = app.run(mode="auto", resume_from=tmp_path)
+    assert report.resumed_from is not None
+    np.testing.assert_array_equal(app.result(), ref)
+
+
 def test_kill_resume_under_dag_executor(tmp_path):
     """Same contract with the parallel executor on both sides of the
     kill."""

@@ -1,0 +1,72 @@
+"""Runner-level surfacing: a dead checkpoint-writer thread must be
+reported as a degradation at the point of failure, never hang the run
+or hide the lost durability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CheckpointPolicy
+from repro.apps.registry import build
+from repro.resilience import runner
+
+
+@pytest.fixture()
+def reference():
+    app = build("heat2d", scale="tiny")
+    app.run(mode="auto")
+    return app.result()
+
+
+def test_writer_death_is_surfaced_not_fatal(tmp_path, monkeypatch, reference):
+    """The writer thread dying outright (bug, MemoryError, ...) notes
+    ``checkpoint:writer-died`` and the run still completes correctly —
+    silently-stopped durability is the failure this surfaces."""
+
+    def _explode(self):
+        raise RuntimeError("injected writer death")
+
+    monkeypatch.setattr(runner._CheckpointWriter, "_loop", _explode)
+    app = build("heat2d", scale="tiny")
+    report = app.run(
+        mode="auto",
+        checkpoint=CheckpointPolicy(dir=tmp_path, every_dt=3),
+    )
+    assert "checkpoint:writer-died" in report.degradations
+    assert report.checkpoints_written == 0
+    np.testing.assert_array_equal(app.result(), reference)
+
+
+def test_writer_death_mid_history_keeps_prefix(
+    tmp_path, monkeypatch, reference
+):
+    """Death after the first durable write: the run keeps its prefix,
+    notes the loss, and later boundaries drop their snapshots instead of
+    blocking on a queue nobody drains."""
+    real_loop = runner._CheckpointWriter._loop
+    state = {"writes": 0}
+
+    def _loop_once_then_die(self):
+        real_get = self._queue.get
+
+        def counting_get(*a, **kw):
+            item = real_get(*a, **kw)
+            if state["writes"] >= 1:
+                raise RuntimeError("injected writer death")
+            state["writes"] += 1
+            return item
+
+        self._queue.get = counting_get
+        real_loop(self)
+
+    monkeypatch.setattr(runner._CheckpointWriter, "_loop", _loop_once_then_die)
+    app = build("heat2d", scale="tiny")
+    report = app.run(
+        mode="auto",
+        checkpoint=CheckpointPolicy(dir=tmp_path, every_dt=2),
+    )
+    assert "checkpoint:writer-died" in report.degradations
+    assert report.checkpoints_written == 1
+    assert list(tmp_path.iterdir()), "the first write must survive"
+    np.testing.assert_array_equal(app.result(), reference)

@@ -1,0 +1,81 @@
+"""The grid-as-view refactor: PochoirArray state can migrate between
+private memory and shared-memory segments, and pickling a shared array
+transfers a descriptor, not the data."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import PochoirArray, ZeroBoundary
+
+
+@pytest.fixture()
+def arr():
+    a = PochoirArray("u", (8, 8)).register_boundary(ZeroBoundary())
+    a.set_initial(np.arange(64, dtype=np.float64).reshape(8, 8))
+    yield a
+    a.unshare()  # idempotent; never leaves segments behind on failure
+
+
+def test_share_preserves_contents_and_bumps_token(arr):
+    before = arr.data.copy()
+    token0 = arr.cache_token
+    assert not arr.is_shared
+    arr.share()
+    assert arr.is_shared
+    np.testing.assert_array_equal(arr.data, before)
+    # Any kernel compiled against the private buffer is now stale: the
+    # compile cache must key on a new token.
+    assert arr.cache_token != token0
+
+
+def test_share_is_idempotent(arr):
+    arr.share()
+    token1 = arr.cache_token
+    data1 = arr.data
+    arr.share()
+    assert arr.data is data1
+    assert arr.cache_token == token1
+
+
+def test_unshare_returns_to_private_memory(arr):
+    arr.share()
+    arr.data[...] = 7.0
+    token_shared = arr.cache_token
+    arr.unshare()
+    assert not arr.is_shared
+    assert arr.cache_token != token_shared
+    np.testing.assert_array_equal(arr.data, np.full(arr.data.shape, 7.0))
+    # Private again: writable without any segment backing it.
+    arr.data[0, 0, 0] = -1.0
+
+
+def test_unshare_without_share_is_noop(arr):
+    token0 = arr.cache_token
+    arr.unshare()
+    assert arr.cache_token == token0
+
+
+def test_pickle_of_shared_array_is_zero_copy_descriptor(arr):
+    arr.share()
+    blob = pickle.dumps(arr)
+    # The payload must carry the segment name, not 64 float64s.
+    assert len(blob) < arr.data.nbytes
+
+    attached = pickle.loads(blob)
+    np.testing.assert_array_equal(attached.data, arr.data)
+    # Same physical memory: writes through either view are visible in
+    # the other (this is what lets workers execute in place).
+    attached.data[0, 3, 3] = 1234.5
+    assert arr.data[0, 3, 3] == 1234.5
+    assert not attached._shm_owner
+
+
+def test_pickle_of_private_array_carries_data(arr):
+    clone = pickle.loads(pickle.dumps(arr))
+    np.testing.assert_array_equal(clone.data, arr.data)
+    clone.data[0, 0, 0] = 99.0  # independent copy
+    assert arr.data[0, 0, 0] != 99.0

@@ -1,0 +1,103 @@
+"""SIGKILL random worker subprocesses mid-run, repeatedly, and demand
+bitwise equality with the serial result every single time.
+
+This is the supervised executor's core promise stated as a test: worker
+processes are disposable.  An external SIGKILL is indistinguishable
+from a segfault in generated code (same watchdog path: dead process,
+kill-all, rollback, respawn, re-run), so surviving a killer thread
+proves the isolation boundary for every crash class at once.
+
+A kill can land anywhere in the session's lifetime — mid-dispatch,
+mid-kernel, or in the teardown drain after the last task completed (in
+which case no respawn is needed and none happens).  Every landing spot
+must leave the grid bitwise correct; the test additionally insists that
+across its attempts at least one kill provably hit *compute* (respawn
+counters moved), so the stress cannot silently degenerate into only
+exercising teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro import CheckpointPolicy
+from repro.apps.registry import build
+from repro.supervise import live_worker_pids
+
+from tests.conftest import has_c_backend
+
+MODES = ["split_pointer"] + (["c"] if has_c_backend() else [])
+MIN_RUNS = 3  # every case stress-runs at least this often
+MAX_RUNS = 8  # ... and keeps going until a kill lands mid-compute
+
+
+class _Killer:
+    """Background thread that SIGKILLs one random live worker as soon as
+    a supervised session is up, mimicking an OOM killer or an operator's
+    stray ``kill -9``."""
+
+    def __init__(self):
+        self.killed = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            pids = live_worker_pids()
+            if pids:
+                try:
+                    os.kill(random.choice(pids), signal.SIGKILL)
+                    self.killed += 1
+                except (ProcessLookupError, PermissionError):
+                    pass
+                return
+            if self._stop.wait(0.002):
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("app_name", ["heat2d", "life", "psa"])
+def test_random_worker_sigkill_never_corrupts(app_name, mode, tmp_path):
+    ref_app = build(app_name, scale="tiny")
+    ref_app.run(executor="serial", mode=mode)
+    ref = ref_app.result()
+
+    random.seed(f"{app_name}:{mode}")  # reproducible kill victims
+    kills = respawns = 0
+    for i in range(MAX_RUNS):
+        app = build(app_name, scale="tiny")
+        killer = _Killer()
+        try:
+            # Checkpoint blocks multiply the supervised compute windows,
+            # so the instant-kill usually lands inside one of them.
+            report = app.run(
+                executor="procs",
+                n_workers=2,
+                mode=mode,
+                checkpoint=CheckpointPolicy(
+                    dir=tmp_path / f"run{i}", every_dt=2
+                ),
+            )
+        finally:
+            killer.stop()
+        kills += killer.killed
+        assert report.executor == "procs"
+        if report.workers_respawned:
+            respawns += 1
+            assert "supervise:worker-crashed->respawned" in report.degradations
+        np.testing.assert_array_equal(app.result(), ref)
+        if i + 1 >= MIN_RUNS and respawns > 0:
+            break
+    assert kills > 0, "the killer never fired; the stress proved nothing"
+    assert respawns > 0, "no kill landed mid-compute across all runs"
