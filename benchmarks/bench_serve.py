@@ -1,0 +1,208 @@
+"""Serving throughput: batched dispatch versus sequential job runs.
+
+The serving layer's whole bet is that K small same-signature jobs run
+cheaper as ONE batched compiled dispatch (outer batch loop inside the
+generated clones, one decomposition, one GIL-released call per region)
+than as K sequential runs paying K× the per-run dispatch overhead.
+This benchmark measures that bet on a server-shaped workload — many
+small heat2d problems — and verifies the invariant that makes batching
+admissible at all:
+
+* **equivalence** — every batched job's grid is bitwise identical to
+  the same job run sequentially (same decomposition, same clones; only
+  the outer batch loop differs).
+
+Acceptance: batched throughput must reach **1.5x** sequential at
+measuring scale.  The anchor binds in measuring mode only — ``--check``
+and tiny-scale smoke runs never fail on timing.
+
+Without a C toolchain (``REPRO_NO_CC=1``) the server degrades to
+unbatched NumPy serving; the benchmark then verifies the degradation
+tag instead of the speedup (and never writes the committed record).
+
+Runnable three ways::
+
+    pytest benchmarks/bench_serve.py --benchmark-only -s
+    python benchmarks/bench_serve.py            # prints + JSON
+    python benchmarks/bench_serve.py --check    # CI smoke: exits
+                                                # nonzero on an
+                                                # equivalence failure,
+                                                # never on timing
+
+A passing measuring run at non-tiny scale writes ``BENCH_serve.json``
+at the repo root; ``--check`` and tiny runs leave the committed record
+untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.bench_util import is_tiny, once, write_bench_json  # noqa: E402
+from repro.apps.heat import build_heat  # noqa: E402
+from repro.compiler.codegen_c import find_c_compiler  # noqa: E402
+
+APP = "heat2d"
+
+#: Acceptance: batched wall time must beat sequential by this factor
+#: at measuring scale (measuring mode only).
+MIN_SPEEDUP = 1.5
+
+
+def _scale() -> tuple[tuple[int, int], int, int]:
+    """(sizes, steps, n_jobs) — many small jobs, server-shaped."""
+    if is_tiny():
+        return (24, 24), 8, 4
+    return (64, 64), 16, 24
+
+
+def _build_jobs(n_jobs: int):
+    sizes, steps, _ = _scale()
+    return [build_heat(sizes, steps, seed=s) for s in range(n_jobs)]
+
+
+def _serve_batched(apps) -> tuple[float, list]:
+    from repro.serve import ServeOptions, StencilServer
+
+    async def main():
+        opts = ServeOptions(max_batch=len(apps), batch_window=0.25)
+        async with StencilServer(opts) as srv:
+            t0 = time.perf_counter()
+            reports = await asyncio.gather(
+                *(srv.submit(a.stencil, a.steps, a.kernel) for a in apps)
+            )
+            return time.perf_counter() - t0, reports
+
+    return asyncio.run(main())
+
+
+def _run_sequential(apps, mode: str) -> float:
+    t0 = time.perf_counter()
+    for app in apps:
+        app.run(mode=mode)
+    return time.perf_counter() - t0
+
+
+def _failures(payload: dict) -> list[str]:
+    bad = []
+    if not payload["bitwise_equal"]:
+        bad.append("bitwise")
+    if payload["has_cc"]:
+        if payload["batched_jobs"] != payload["n_jobs"]:
+            bad.append("not-batched")
+    else:
+        if "serve:no-cc->unbatched-numpy" not in payload["degradations"]:
+            bad.append("no-cc-tag-missing")
+    if not payload["speedup_ok"]:
+        bad.append("speedup")
+    return bad
+
+
+def run_serve_bench(check_only: bool = False) -> dict:
+    sizes, steps, n_jobs = _scale()
+    has_cc = find_c_compiler() is not None
+    seq_mode = "c" if has_cc else "split_pointer"
+    reps = 1 if (check_only or is_tiny()) else 3
+
+    # Warm the compile caches (single-job AND batched clones share one
+    # .so by digest) so neither side pays cc inside its timed region.
+    warm = _build_jobs(1)
+    _run_sequential(warm, seq_mode)
+    _serve_batched(_build_jobs(2))
+
+    # A/B interleave, minimum per side: the noise-robust floor.
+    seq_s = srv_s = None
+    srv_reports = None
+    batched_apps = seq_apps = None
+    for i in range(max(1, reps)):
+        order = ("seq", "srv") if i % 2 == 0 else ("srv", "seq")
+        for side in order:
+            if side == "seq":
+                apps = _build_jobs(n_jobs)
+                t = _run_sequential(apps, seq_mode)
+                if seq_s is None or t < seq_s:
+                    seq_s, seq_apps = t, apps
+            else:
+                apps = _build_jobs(n_jobs)
+                t, reports = _serve_batched(apps)
+                if srv_s is None or t < srv_s:
+                    srv_s, batched_apps, srv_reports = t, apps, reports
+
+    bitwise = all(
+        np.array_equal(a.result(), b.result())
+        for a, b in zip(batched_apps, seq_apps)
+    )
+    degradations = sorted(
+        {tag for r in srv_reports for tag in r.degradations}
+    )
+    payload: dict = {
+        "app": APP,
+        "sizes": list(sizes),
+        "steps": steps,
+        "n_jobs": n_jobs,
+        "has_cc": has_cc,
+        "sequential_mode": seq_mode,
+        "sequential_wall_s": round(seq_s, 4),
+        "batched_wall_s": round(srv_s, 4),
+        "speedup": round(seq_s / srv_s, 4) if srv_s > 0 else 0.0,
+        "bitwise_equal": bool(bitwise),
+        "batch_sizes": [r.batch_size for r in srv_reports],
+        "batched_jobs": sum(1 for r in srv_reports if r.batch_size > 1),
+        "mean_queue_wait_s": round(
+            sum(r.queue_wait for r in srv_reports) / len(srv_reports), 5
+        ),
+        "degradations": degradations,
+    }
+    # Timing binds in measuring mode with a toolchain only: --check,
+    # tiny smoke, and the degraded no-cc path never fail on timing.
+    payload["speedup_ok"] = bool(
+        check_only
+        or is_tiny()
+        or not has_cc
+        or payload["speedup"] >= MIN_SPEEDUP
+    )
+    if not check_only and not is_tiny() and has_cc and not _failures(payload):
+        write_bench_json("serve", payload)
+    return payload
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
+def test_serve_throughput(benchmark):
+    payload = once(benchmark, run_serve_bench)
+    assert not _failures(payload), _failures(payload)
+    benchmark.extra_info["speedup"] = payload["speedup"]
+    print(
+        f"\n[serve] sequential {payload['sequential_wall_s']:.3f}s, "
+        f"batched {payload['batched_wall_s']:.3f}s "
+        f"({payload['speedup']:.2f}x) over {payload['n_jobs']} jobs"
+    )
+
+
+if __name__ == "__main__":
+    check_only = "--check" in sys.argv
+    payload = run_serve_bench(check_only=check_only)
+    bad = _failures(payload)
+    if bad:
+        print(f"SERVE BENCH FAILURE: {bad}", file=sys.stderr)
+        sys.exit(1)
+    if check_only:
+        mode = "batched" if payload["has_cc"] else "degraded (no cc)"
+        print(
+            f"serve ok: {payload['n_jobs']} jobs bitwise-equal, {mode}, "
+            f"speedup {payload['speedup']:.2f}x"
+        )
+    else:
+        print(
+            f"serve: sequential {payload['sequential_wall_s']:.3f}s, "
+            f"batched {payload['batched_wall_s']:.3f}s "
+            f"({payload['speedup']:.2f}x) — BENCH_serve.json written"
+        )

@@ -39,6 +39,7 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.resilience import Checkpoint, CheckpointPolicy, resume
+from repro.serve import ServeOptions, ServerBusy, ServerClosed, StencilServer
 from repro.supervise import SuperviseOptions
 from repro.expr import (
     Param,
@@ -95,10 +96,14 @@ __all__ = [
     "PythonBoundary",
     "RunOptions",
     "RunReport",
+    "ServeOptions",
+    "ServerBusy",
+    "ServerClosed",
     "Shape",
     "ShapeViolationError",
     "SpecificationError",
     "Stencil",
+    "StencilServer",
     "SuperviseOptions",
     "ZeroBoundary",
     "eq_",

@@ -48,7 +48,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.resilience import degradations, faults
-from repro.util import atomic_write_text
+from repro.util import atomic_write_text, interprocess_lock
 
 #: Bump when the entry layout changes; a mismatched file is discarded
 #: wholesale (stale tunings are worthless, silently misreading them is
@@ -317,17 +317,24 @@ def lookup(problem, backend: str) -> TunedConfig | None:
 def store(problem, backend: str, config: TunedConfig) -> bool:
     """Persist a tuned config; returns False (never raises) on failure.
 
-    Read-modify-write under the process lock with an atomic replace, so
-    concurrent stores from one process cannot shred the file; the
-    cross-process race loses at most one entry, never file integrity.
+    Read-modify-write under the process lock *and* an ``fcntl.flock`` on
+    a sibling lockfile, so concurrent stores — threads here or tuners in
+    other processes (a server's workers all tuning at once) — merge
+    instead of last-writer-wins dropping entries.  The ``_load`` cache
+    tag is (mtime_ns, size), so the re-read under the lock observes any
+    writer that got in first.  Where locking is unavailable the store
+    degrades to the old atomic-replace behavior: file integrity always,
+    cross-process merge best-effort.
     """
     try:
         key = registry_key(problem_signature(problem), backend)
         with _REGISTRY_LOCK:
             path = registry_path()
-            entries = dict(_load(path))  # copy: the loaded dict may be cached
-            entries[key] = config.to_json()
-            _dump(path, entries)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with interprocess_lock(path.with_name(path.name + ".lock")):
+                entries = dict(_load(path))  # copy: the loaded dict may be cached
+                entries[key] = config.to_json()
+                _dump(path, entries)
         return True
     except Exception:
         return False

@@ -61,7 +61,7 @@ import numpy as np
 
 from repro.errors import CompileError, KernelError
 from repro.resilience import degradations, faults
-from repro.util import atomic_write_text, durable_replace
+from repro.util import atomic_write_text, durable_replace, interprocess_lock
 from repro.compiler.frontend import KernelIR
 from repro.compiler.codegen_numpy import (
     LeafFn,
@@ -899,16 +899,84 @@ def _walk_par_source(ir: KernelIR) -> str:
     return "\n".join(lines)
 
 
+def _array_stride(ir: KernelIR, name: str) -> int:
+    """Elements one job occupies in a stacked array buffer: the full
+    modular time buffer, ``slots * spatial_points``."""
+    info = next(i for i in ir.array_infos if i.name == name)
+    points = 1
+    for s in info.sizes:
+        points *= int(s)
+    return int(info.slots) * points
+
+
+def _const_stride(ir: KernelIR, name: str) -> int:
+    points = 1
+    for s in ir.const_arrays[name].sizes:
+        points *= int(s)
+    return points
+
+
+def _batch_fn_source(ir: KernelIR, *, include_boundary: bool) -> str:
+    """Batched entry points: each wraps its single-job clone in a loop
+    over ``nb`` jobs laid out contiguously, offsetting every data pointer
+    by the job's codegen-constant stride.  One GIL-released call then
+    runs a whole batch of same-shape problems.  Bounds pass by value, so
+    every job sees fresh copies (the fused leaf mutates its own).  These
+    wrappers are always emitted, keeping the source digest — and thus
+    the ``.so`` cache entry — shared between batched and single-job
+    users of the same kernel."""
+    d = ir.ndim
+    pa = ", ".join(_ptr_args(ir))
+    offs = [
+        f"D_{info.name} + b*{_array_stride(ir, info.name)}L"
+        for info in ir.array_infos
+    ]
+    offs.extend(
+        f"C_{c} + b*{_const_stride(ir, c)}L" for c in sorted(ir.const_arrays)
+    )
+    po = ", ".join(offs)
+    step_scalars = ["i64 t"] + [f"i64 l{i}" for i in range(d)] + [
+        f"i64 h{i}" for i in range(d)
+    ]
+    leaf_scalars = ["i64 ta", "i64 tb"]
+    for prefix in ("l", "h", "dl", "dh"):
+        leaf_scalars += [f"i64 {prefix}{i}" for i in range(d)]
+    walk_scalars = ["i64 ta", "i64 tb"]
+    for prefix in ("l", "h", "dl", "dh", "s", "th"):
+        walk_scalars += [f"i64 {prefix}{i}" for i in range(d)]
+    walk_scalars += ["i64 dt_th", "i64 hyper"]
+
+    def wrapper(name: str, target: str, scalars: list[str]) -> str:
+        args = ", ".join([pa, "i64 nb"] + scalars)
+        fwd = ", ".join(s.split()[-1] for s in scalars)
+        return (
+            f"void {name}({args}) {{\n"
+            f"  for (i64 b = 0; b < nb; ++b)\n"
+            f"    {target}({po}, {fwd});\n"
+            f"}}"
+        )
+
+    parts = [
+        wrapper("interior_step_batch", "interior_step", step_scalars),
+        wrapper("leaf_batch", "leaf", leaf_scalars),
+        wrapper("walk_subtree_batch", "walk_subtree", walk_scalars),
+    ]
+    if include_boundary:
+        parts.append(wrapper("boundary_step_batch", "boundary_step", step_scalars))
+        parts.append(wrapper("leaf_boundary_batch", "leaf_boundary", leaf_scalars))
+    return "\n\n".join(parts)
+
+
 def generate_c_source(
     ir: KernelIR,
     *,
     include_boundary: bool = True,
     include_parallel: bool = False,
 ) -> str:
-    """The full postsource: prelude, per-step and fused clone pairs, and
-    the compiled interior recursion (``walk_subtree``), plus — when
-    ``include_parallel`` — the pthread task pool and
-    ``walk_subtree_par``."""
+    """The full postsource: prelude, per-step and fused clone pairs, the
+    compiled interior recursion (``walk_subtree``) and the batched
+    wrappers over all of them, plus — when ``include_parallel`` — the
+    pthread task pool and ``walk_subtree_par``."""
     parts = [
         _PRELUDE,
         _fn_source(ir, boundary_mode=False),
@@ -920,6 +988,7 @@ def generate_c_source(
     if include_boundary:
         parts.append(_fn_source(ir, boundary_mode=True))
         parts.append(_leaf_fn_source(ir, boundary_mode=True))
+    parts.append(_batch_fn_source(ir, include_boundary=include_boundary))
     return "\n\n".join(parts) + "\n"
 
 
@@ -965,11 +1034,30 @@ def _cc_timeout() -> float:
         return 300.0
 
 
+def _count_cc_invocation() -> None:
+    """Test hook: append one line per cc invocation to
+    ``$REPRO_CC_COUNT_FILE``.  ``O_APPEND`` of one small write is atomic
+    across processes, so the compile-race test asserts "exactly one
+    compile for N concurrent requesters" by counting lines."""
+    path = os.environ.get("REPRO_CC_COUNT_FILE")
+    if not path:
+        return
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())
+        finally:
+            os.close(fd)
+    except OSError:
+        pass
+
+
 def _run_cc(cmd: list[str], timeout: float) -> subprocess.CompletedProcess:
     """One cc invocation, with the ``cc.hang``/``cc.fail`` fault sites.
 
     ``cc.hang`` swaps in a genuinely hanging child so the timeout path
     (kill + reap + retry) is exercised for real, not simulated."""
+    _count_cc_invocation()
     run_cmd = cmd
     if faults.fire("cc.hang"):
         run_cmd = [sys.executable, "-c", "import time; time.sleep(2147483)"]
@@ -1009,32 +1097,41 @@ def build_shared_object(
     so_path = cache / f"kernel_{digest}.so"
     if so_path.exists() and not force:
         return so_path
-    c_path = cache / f"kernel_{digest}.c"
-    atomic_write_text(c_path, source)
-    tmp_so = cache / f"kernel_{digest}.{os.getpid()}.tmp.so"
-    cmd = [cc, *flags, "-o", str(tmp_so), str(c_path), "-lm"]
-    timeout = _cc_timeout()
-    for attempt in (0, 1):
-        try:
-            proc = _run_cc(cmd, timeout)
-        except subprocess.TimeoutExpired:
-            if attempt == 0:
-                degradations.note("cc:timeout-retry")
-                time.sleep(min(1.0, timeout / 20))
-                continue
-            raise CompileError(
-                f"C compilation timed out twice ({timeout:g}s each) — "
-                f"wedged toolchain? ({' '.join(cmd)})"
-            ) from None
-        if proc.returncode != 0:
-            raise CompileError(
-                f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
-            )
-        break
-    # fsync the object and its directory entry before publishing: a
-    # half-written .so surviving a crash would cost a (detected,
-    # evicted) load failure on every later process.
-    durable_replace(tmp_so, so_path)
+    # One compiler per digest across processes: a server fanning the
+    # same kernel out to many workers must pay cc once, with the herd
+    # waiting on the lock and then loading the winner's object.  The
+    # re-check under the lock is the usual exit for every waiter; where
+    # flock is unavailable this degrades to the old racy-but-atomic
+    # compile-twice behavior.
+    with interprocess_lock(cache / f"kernel_{digest}.lock"):
+        if so_path.exists() and not force:
+            return so_path
+        c_path = cache / f"kernel_{digest}.c"
+        atomic_write_text(c_path, source)
+        tmp_so = cache / f"kernel_{digest}.{os.getpid()}.tmp.so"
+        cmd = [cc, *flags, "-o", str(tmp_so), str(c_path), "-lm"]
+        timeout = _cc_timeout()
+        for attempt in (0, 1):
+            try:
+                proc = _run_cc(cmd, timeout)
+            except subprocess.TimeoutExpired:
+                if attempt == 0:
+                    degradations.note("cc:timeout-retry")
+                    time.sleep(min(1.0, timeout / 20))
+                    continue
+                raise CompileError(
+                    f"C compilation timed out twice ({timeout:g}s each) — "
+                    f"wedged toolchain? ({' '.join(cmd)})"
+                ) from None
+            if proc.returncode != 0:
+                raise CompileError(
+                    f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr}"
+                )
+            break
+        # fsync the object and its directory entry before publishing: a
+        # half-written .so surviving a crash would cost a (detected,
+        # evicted) load failure on every later process.
+        durable_replace(tmp_so, so_path)
     return so_path
 
 
@@ -1240,4 +1337,111 @@ def make_c_clones(ir: KernelIR) -> CClones:
         source,
         walk_par=walk_par,
         walk_stats=walk_stats if has_parallel else None,
+    )
+
+
+def make_c_batch_clones(
+    ir: KernelIR,
+    stacked: dict[str, np.ndarray],
+    stacked_consts: dict[str, np.ndarray],
+    nb: int,
+) -> CClones:
+    """Bind the batched entry points against stacked job buffers.
+
+    ``stacked[name]`` is a C-contiguous ``(nb, slots, *sizes)`` float64
+    buffer whose slab ``[b]`` is laid out exactly like the single-job
+    modular time buffer; ``stacked_consts[name]`` likewise stacks each
+    job's const array.  The generated wrappers offset the base pointers
+    by codegen-constant strides, so the only extra runtime argument is
+    ``nb`` — baked into the returned closures, which therefore satisfy
+    the ordinary :class:`CClones` call shapes (and run *every* job per
+    call).  The source digest matches :func:`make_c_clones` for the same
+    kernel, so a warm ``.so`` cache serves both without recompiling.
+
+    ``walk_par`` stays None: batching already amortizes dispatch, and
+    jobs within a call run serially for bitwise reproducibility.
+    """
+    boundary_ok = all(
+        is_vectorizable_boundary(a.boundary) for a in ir.arrays.values()
+    )
+    source = generate_c_source(
+        ir, include_boundary=boundary_ok, include_parallel=True
+    )
+    try:
+        lib = load_shared_object(source, extra_flags=_PTHREAD_FLAGS)
+    except CompileError:
+        degradations.note("cc:parallel-source-failed->serial-clones")
+        source = generate_c_source(ir, include_boundary=boundary_ok)
+        lib = load_shared_object(source)
+
+    d = ir.ndim
+    n_ptr_args = len(ir.array_infos) + len(ir.const_arrays)
+    ptr_types = [ctypes.POINTER(ctypes.c_double)] * n_ptr_args
+    step_argtypes = ptr_types + [ctypes.c_longlong] * (2 + 2 * d)
+    leaf_argtypes = ptr_types + [ctypes.c_longlong] * (3 + 4 * d)
+    walk_argtypes = ptr_types + [ctypes.c_longlong] * (5 + 6 * d)
+
+    for info in ir.array_infos:
+        buf = stacked[info.name]
+        if not buf.flags["C_CONTIGUOUS"] or buf.dtype != np.float64:
+            raise CompileError(f"stacked buffer for {info.name!r} must be "
+                               f"C-contiguous float64")
+    const_bufs = [
+        np.ascontiguousarray(stacked_consts[n], dtype=np.float64)
+        for n in sorted(ir.const_arrays)
+    ]
+    ptrs = tuple(
+        stacked[info.name].ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        for info in ir.array_infos
+    ) + tuple(
+        buf.ctypes.data_as(ctypes.POINTER(ctypes.c_double)) for buf in const_bufs
+    )
+    nb = int(nb)
+
+    def bind_step(fn) -> CloneFn:
+        fn.argtypes = step_argtypes
+        fn.restype = None
+
+        def clone(t, lo, hi, _keepalive=const_bufs):
+            fn(*ptrs, nb, t, *lo, *hi)
+
+        return clone
+
+    def bind_leaf(fn) -> LeafFn:
+        fn.argtypes = leaf_argtypes
+        fn.restype = None
+
+        def leaf(ta, tb, lo, hi, dlo, dhi, _keepalive=const_bufs):
+            fn(*ptrs, nb, ta, tb, *lo, *hi, *dlo, *dhi)
+            return True
+
+        return leaf
+
+    def bind_walk(fn) -> WalkFn:
+        fn.argtypes = walk_argtypes
+        fn.restype = None
+
+        def walk(
+            ta, tb, lo, hi, dlo, dhi, slopes, thresholds, dt_th, hyper,
+            _keepalive=const_bufs,
+        ):
+            fn(
+                *ptrs, nb, ta, tb, *lo, *hi, *dlo, *dhi, *slopes,
+                *thresholds, dt_th, 1 if hyper else 0,
+            )
+
+        return walk
+
+    boundary: CloneFn | None = None
+    leaf_boundary: LeafFn | None = None
+    if boundary_ok:
+        boundary = bind_step(lib.boundary_step_batch)
+        leaf_boundary = bind_leaf(lib.leaf_boundary_batch)
+    return CClones(
+        bind_step(lib.interior_step_batch),
+        boundary,
+        bind_leaf(lib.leaf_batch),
+        leaf_boundary,
+        bind_walk(lib.walk_subtree_batch),
+        source,
     )

@@ -604,7 +604,16 @@ def _w_lines(ir: KernelIR, em: _Emitter, indent: str) -> list[str]:
     return lines
 
 
-def _interior_source(ir: KernelIR) -> str:
+def _batch_bind_lines(ir: KernelIR, indent: str) -> list[str]:
+    """Rebind every ``D_``/``C_`` name to job ``_b``'s slab of the
+    stacked buffers — the whole batching transform for the clone bodies,
+    which reference arrays only through these names."""
+    lines = [f"{indent}D_{name} = BD_{name}[_b]" for name in ir.arrays]
+    lines.extend(f"{indent}C_{name} = BC_{name}[_b]" for name in ir.const_arrays)
+    return lines
+
+
+def _interior_source(ir: KernelIR, batch: bool = False) -> str:
     em = _lower(ir, boundary_mode=False)
     d = ir.ndim
     lines = ["def interior(t, lo, hi):"]
@@ -624,11 +633,18 @@ def _interior_source(ir: KernelIR) -> str:
         )
     lines.extend(_pool_lines(ir, em, "    "))
     lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
-    lines.extend(f"        {b}" for b in em.lines)
+    ind = "        "
+    if batch:
+        # Everything geometric (slots, axes, pool views) is shared; only
+        # the data bindings differ per job.
+        lines.append(f"{ind}for _b in range(NB):")
+        ind += "    "
+        lines.extend(_batch_bind_lines(ir, ind))
+    lines.extend(f"{ind}{b}" for b in em.lines)
     return "\n".join(lines)
 
 
-def _boundary_source(ir: KernelIR) -> str:
+def _boundary_source(ir: KernelIR, batch: bool = False) -> str:
     em = _lower(ir, boundary_mode=True)
     d = ir.ndim
     lines = ["def boundary(t, lo, hi):"]
@@ -643,11 +659,16 @@ def _boundary_source(ir: KernelIR) -> str:
     lines.extend(_w_lines(ir, em, "    "))
     lines.extend(_pool_lines(ir, em, "    "))
     lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
-    lines.extend(f"        {b}" for b in em.lines)
+    ind = "        "
+    if batch:
+        lines.append(f"{ind}for _b in range(NB):")
+        ind += "    "
+        lines.extend(_batch_bind_lines(ir, ind))
+    lines.extend(f"{ind}{b}" for b in em.lines)
     return "\n".join(lines)
 
 
-def _leaf_source(ir: KernelIR, boundary_mode: bool) -> str:
+def _leaf_source(ir: KernelIR, boundary_mode: bool, batch: bool = False) -> str:
     """The fused base-case clone (see module docstring).
 
     Runs ``[ta, tb)`` time steps over a box whose per-dim bounds shift by
@@ -697,14 +718,26 @@ def _leaf_source(ir: KernelIR, boundary_mode: bool) -> str:
         )
         lines.append(f"    POOL.require({cap})")
     # Per-dimension coordinate caches (IndexValue uses only): rebuilt per
-    # step only when the slopes actually move the bounds.
+    # step only when the slopes actually move the bounds.  In batch mode
+    # they stay valid *across* jobs too — every job restarts from the
+    # same bounds, and nonzero slopes force the per-step recompute.
     for i in sorted(em.used_axes):
         lines.append(f"    AX{i}R = None")
     empty = " or ".join(f"h{i} <= l{i}" for i in range(d))
     lines.append("    with np.errstate(divide='ignore', invalid='ignore'):")
-    lines.append("        for t in range(ta, tb):")
-    lines.append(f"            if not ({empty}):")
-    ind = "                "
+    off = ""
+    if batch:
+        # The decline checks above ran once for the whole batch (pure
+        # geometry, before any write), so a False here is all-or-none.
+        lines.append("        for _b in range(NB):")
+        off = "    "
+        lines.extend(_batch_bind_lines(ir, "        " + off))
+        for i in range(d):
+            # Re-unpack: the time loop below mutates the bounds in place.
+            lines.append(f"        {off}l{i} = lo[{i}]; h{i} = hi[{i}]")
+    lines.append(f"    {off}    for t in range(ta, tb):")
+    lines.append(f"    {off}        if not ({empty}):")
+    ind = "            " + off + "    "
     lines.extend(_slot_lines(ir, ind))
     for i in sorted(em.used_axes):
         shape = ["1"] * d
@@ -719,7 +752,7 @@ def _leaf_source(ir: KernelIR, boundary_mode: bool) -> str:
     lines.extend(_pool_lines(ir, em, ind))
     lines.extend(f"{ind}{b}" for b in em.lines)
     for i in range(d):
-        lines.append(f"            l{i} += d_l{i}; h{i} += d_h{i}")
+        lines.append(f"    {off}        l{i} += d_l{i}; h{i} += d_h{i}")
     lines.append("    return True")
     return "\n".join(lines)
 
@@ -743,8 +776,28 @@ def _namespace(ir: KernelIR) -> dict:
     return ns
 
 
-def _compile(src: str, tag: str, ir: KernelIR, fn_name: str):
+def _batch_namespace(
+    ir: KernelIR,
+    stacked: dict[str, np.ndarray],
+    stacked_consts: dict[str, np.ndarray],
+    nb: int,
+) -> dict:
+    """The clone namespace for batched execution: the usual helpers plus
+    the stacked ``(nb, slots, *sizes)`` buffers the generated ``_b`` loop
+    rebinds per job.  The template ``D_``/``C_`` bindings from
+    :func:`_namespace` are shadowed by the loop before any use."""
     ns = _namespace(ir)
+    for name, buf in stacked.items():
+        ns[f"BD_{name}"] = buf
+    for name, buf in stacked_consts.items():
+        ns[f"BC_{name}"] = buf
+    ns["NB"] = int(nb)
+    return ns
+
+
+def _compile(src: str, tag: str, ir: KernelIR, fn_name: str, ns: dict | None = None):
+    if ns is None:
+        ns = _namespace(ir)
     exec(compile(src, f"<{tag}:{'_'.join(ir.write_arrays)}>", "exec"), ns)
     return ns[fn_name]
 
@@ -781,3 +834,56 @@ def make_numpy_leaf_boundary(ir: KernelIR) -> tuple[LeafFn, str]:
     _check_vectorizable(ir)
     src = _leaf_source(ir, boundary_mode=True)
     return _compile(src, "split_pointer_leaf_bnd", ir, "leaf_boundary"), src
+
+
+@dataclass
+class NumpyBatchClones:
+    """Batched split_pointer clones: each call runs every job in the
+    stack over the same region/trapezoid, identical geometry and
+    identical op sequence to the single-job clones per slab."""
+
+    interior: CloneFn
+    boundary: CloneFn
+    leaf: LeafFn
+    leaf_boundary: LeafFn
+    sources: dict[str, str]
+
+
+def make_numpy_batch_clones(
+    ir: KernelIR,
+    stacked: dict[str, np.ndarray],
+    stacked_consts: dict[str, np.ndarray],
+    nb: int,
+) -> NumpyBatchClones:
+    """Generate and compile the four clones with an outer batch loop.
+
+    ``stacked``/``stacked_consts`` map array name to an ``(nb, ...)``
+    stacked buffer whose slab ``[b]`` matches the single-job layout
+    exactly — so job ``b`` of a batched call is bitwise the single-job
+    clone applied to that slab.  Raises :class:`CompileError` for
+    non-vectorizable boundary kinds (callers run the jobs unbatched).
+    """
+    _check_vectorizable(ir)
+    sources = {
+        "interior": _interior_source(ir, batch=True),
+        "boundary": _boundary_source(ir, batch=True),
+        "leaf": _leaf_source(ir, boundary_mode=False, batch=True),
+        "leaf_boundary": _leaf_source(ir, boundary_mode=True, batch=True),
+    }
+    fns = {
+        name: _compile(
+            src,
+            f"split_pointer_batch_{name}",
+            ir,
+            name,
+            ns=_batch_namespace(ir, stacked, stacked_consts, nb),
+        )
+        for name, src in sources.items()
+    }
+    return NumpyBatchClones(
+        interior=fns["interior"],
+        boundary=fns["boundary"],
+        leaf=fns["leaf"],
+        leaf_boundary=fns["leaf_boundary"],
+        sources=sources,
+    )

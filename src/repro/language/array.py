@@ -32,6 +32,7 @@ buffer the array no longer owns.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -50,6 +51,14 @@ from repro.expr.nodes import (
     as_expr,
 )
 from repro.language.boundary import Boundary
+
+#: Serializes the legacy (< 3.13) shared-memory attach shim: it patches
+#: the *process-global* ``resource_tracker.register``, so two concurrent
+#: attaches interleaving save/patch/restore can leave tracking pointed at
+#: the no-op forever (every later segment leaks) or re-enable it while
+#: the other attach is mid-constructor (the attachment gets tracked and
+#: the tracker unlinks a live segment at exit).
+_TRACKER_SHIM_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -217,15 +226,19 @@ class PochoirArray:
         # shim.
         try:
             shm = shared_memory.SharedMemory(name=name, track=False)
-        except TypeError:  # pragma: no cover - Python < 3.13
+        except TypeError:  # Python < 3.13
             from multiprocessing import resource_tracker
 
-            orig_register = resource_tracker.register
-            resource_tracker.register = lambda *a, **kw: None
-            try:
-                shm = shared_memory.SharedMemory(name=name)
-            finally:
-                resource_tracker.register = orig_register
+            # The shim mutates process-global state; hold the module
+            # lock so concurrent attaches (a server unpickling many
+            # jobs at once) cannot interleave patch/restore.
+            with _TRACKER_SHIM_LOCK:
+                orig_register = resource_tracker.register
+                resource_tracker.register = lambda *a, **kw: None
+                try:
+                    shm = shared_memory.SharedMemory(name=name)
+                finally:
+                    resource_tracker.register = orig_register
         self.data = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
         self._shm = shm
         self._shm_owner = False

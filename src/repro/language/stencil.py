@@ -348,6 +348,17 @@ class RunReport:
     #: executors.
     workers_respawned: int = 0
     tasks_retried: int = 0
+    #: Serving telemetry (filled by :mod:`repro.serve`; defaults for
+    #: direct runs): seconds the job waited in the admission queue
+    #: before its batch launched, how many same-signature jobs shared
+    #: the compiled dispatch that ran it, whether its kernel was already
+    #: warm (served from the in-process compile cache / a prior flight
+    #: instead of compiled for this request), and whether a tuned config
+    #: from the autotune registry was applied.
+    queue_wait: float = 0.0
+    batch_size: int = 1
+    compile_cache_hit: bool = False
+    registry_hit: bool = False
 
     @property
     def points_per_second(self) -> float:

@@ -1,0 +1,44 @@
+"""Stencil-as-a-service: an asyncio batched job server.
+
+The ROADMAP north star is serving stencil workloads (option pricing per
+user, alignments per request, many small simulations) to heavy traffic,
+and PRs 3–8 built exactly the warm state a long-running server
+amortizes: the ``.so`` cache keyed on compiler identity, the autotune
+registry keyed on problem signature × machine, and the supervised
+shared-memory worker pool.  :class:`StencilServer` is the front-end
+that turns those from per-process caches into serving infrastructure:
+
+* **admission/batching** — submitted jobs are grouped by problem
+  signature (and time range); a group launches when it reaches
+  ``max_batch`` or its ``batch_window`` expires, and runs as ONE
+  batched compiled dispatch (:func:`repro.trap.driver.execute_batch`):
+  the generated clones carry an outer batch loop, so K small jobs cost
+  one GIL-released call per region instead of K.
+* **warm-state serving** — compilation is single-flight (concurrent
+  requesters of one kernel await the same in-process flight, and the
+  ``.so`` cache's per-digest file lock extends the dedup across
+  processes) and tuned configs are served from the autotune registry on
+  the request path (``RunOptions(autotune="use")``).
+* **control** — bounded admission (job count and point volume) rejects
+  with :class:`ServerBusy` instead of queueing unboundedly or dropping;
+  :meth:`StencilServer.drain` (wired to SIGTERM via
+  :meth:`StencilServer.install_signal_handlers`) stops admitting,
+  finishes every accepted job, and resolves every future; per-job
+  :class:`~repro.language.stencil.RunReport` telemetry records queue
+  wait, batch size, and cache/registry hit flags.
+
+Degradation follows the house rules: no C toolchain (or an unbatchable
+mode/boundary) never fails a job — it runs unbatched on the NumPy
+backend with a ``serve:*`` tag in ``report.degradations``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.server import (
+    ServeOptions,
+    ServerBusy,
+    ServerClosed,
+    StencilServer,
+)
+
+__all__ = ["ServeOptions", "ServerBusy", "ServerClosed", "StencilServer"]

@@ -1,0 +1,394 @@
+"""The asyncio job server (see :mod:`repro.serve` for the overview).
+
+Threading model: the event loop owns admission, grouping, and flush
+timers; each batch runs in a worker thread (``asyncio.to_thread``), so
+the loop keeps admitting while compiled code runs with the GIL released.
+The execution substrate underneath (compile caches, autotune registry,
+``.so`` cache) is thread- and process-safe — that is what the PR's
+concurrency bugfixes (registry flock, per-digest compile lock, attach
+shim lock) made true under server-shaped load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.errors import CompileError, SpecificationError
+from repro.language.stencil import Problem, RunOptions, RunReport, Stencil
+from repro.language.kernel import Kernel
+
+
+class ServerBusy(RuntimeError):
+    """Admission control rejected the job (queue or volume bound hit).
+
+    The job was *rejected*, never silently dropped: nothing was queued,
+    no state changed, and the caller may retry after backoff.
+    """
+
+
+class ServerClosed(RuntimeError):
+    """The server is draining or closed; no new jobs are admitted."""
+
+
+@dataclass
+class ServeOptions:
+    """Serving policy knobs.
+
+    ``max_batch``
+        Jobs per batched dispatch; a signature group flushes early when
+        it fills.  ``1`` disables batching without disabling the server.
+    ``batch_window``
+        Seconds an incomplete group lingers for same-signature
+        companions before flushing — the classic batching latency/
+        throughput trade, spent only when traffic is sparse.
+    ``max_pending``
+        Admission bound on jobs in the system (queued + running).
+        Submissions beyond it raise :class:`ServerBusy`.
+    ``max_pending_points``
+        Optional admission bound on total space-time volume
+        (``problem.total_points`` summed over jobs in the system), so a
+        few huge jobs cannot admit-starve memory the way a count bound
+        alone would allow.
+    ``run``
+        Base :class:`~repro.language.stencil.RunOptions` applied to
+        every job (defaults to ``RunOptions(autotune="use")`` — tuned
+        configs from the registry are exactly the warm state a server
+        should serve).  Checkpoint/resume options are rejected: jobs
+        are short and the server owns retry semantics.
+    ``warm_workers``
+        Supervised workers to pre-spawn at :meth:`StencilServer.start`
+        (0 = none).  Supervised jobs themselves run unbatched.
+    """
+
+    max_batch: int = 16
+    batch_window: float = 0.002
+    max_pending: int = 256
+    max_pending_points: int | None = None
+    run: RunOptions | None = None
+    warm_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise SpecificationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_pending < 1:
+            raise SpecificationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.batch_window < 0:
+            raise SpecificationError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.max_pending_points is not None and self.max_pending_points < 1:
+            raise SpecificationError(
+                f"max_pending_points must be >= 1, got {self.max_pending_points}"
+            )
+        run = self.run if self.run is not None else RunOptions(autotune="use")
+        if run.checkpoint is not None or run.resume_from is not None:
+            raise SpecificationError(
+                "serve jobs do not support checkpoint/resume options"
+            )
+        object.__setattr__(self, "run", run)
+
+
+@dataclass
+class _Job:
+    problem: Problem
+    stencil: Stencil
+    future: asyncio.Future
+    enqueued: float
+
+
+class StencilServer:
+    """Async front-end over the warm compile/tune/supervise substrate.
+
+    Usage::
+
+        async with StencilServer() as server:
+            reports = await asyncio.gather(
+                *(server.submit(st, steps, kern) for st, kern in jobs)
+            )
+
+    ``submit`` resolves to the job's :class:`RunReport` once its batch
+    ran; job results land in the submitted stencil's arrays exactly as
+    a direct ``stencil.run`` would leave them.
+    """
+
+    def __init__(self, options: ServeOptions | None = None):
+        self.options = options or ServeOptions()
+        #: Monotonic counters for tests/benchmarks/ops:
+        #: submitted/completed/failed jobs, rejected (backpressure),
+        #: batches dispatched, jobs that rode a >1 batch, unbatched runs.
+        self.stats: dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "batches": 0,
+            "batched_jobs": 0,
+            "unbatched_jobs": 0,
+        }
+        self._pending: dict[tuple, list[_Job]] = {}
+        self._flush_handles: dict[tuple, asyncio.TimerHandle] = {}
+        self._inflight: set[asyncio.Task] = set()
+        self._in_system_jobs = 0
+        self._in_system_points = 0
+        self._compile_flights: dict[tuple, asyncio.Future] = {}
+        self._warm_kernels: set[tuple] = set()
+        self._draining = False
+        self._closed = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "StencilServer":
+        """Bind to the running loop and warm the substrate."""
+        self._loop = asyncio.get_running_loop()
+        if self.options.warm_workers > 0:
+            from repro.supervise import warm_worker_pool
+
+            await asyncio.to_thread(warm_worker_pool, self.options.warm_workers)
+        return self
+
+    async def __aenter__(self) -> "StencilServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def install_signal_handlers(
+        self, signals: Iterable[int] = (signal.SIGTERM,)
+    ) -> None:
+        """Wire graceful drain to process signals (call after start).
+
+        On signal: stop admitting, flush and finish every accepted job,
+        resolve every awaiting future — then stay closed.  Platforms
+        without ``loop.add_signal_handler`` degrade silently (submit/
+        drain remain available programmatically).
+        """
+        assert self._loop is not None, "install_signal_handlers after start()"
+        for sig in signals:
+            try:
+                self._loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.close())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def drain(self) -> None:
+        """Stop admitting; run every queued job; await every batch."""
+        self._draining = True
+        for key in list(self._pending):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain, then reject all future submissions."""
+        await self.drain()
+        self._closed = True
+
+    # -- admission ---------------------------------------------------------
+    async def submit(
+        self,
+        stencil: Stencil,
+        steps: int,
+        kernel: Kernel,
+        options: RunOptions | None = None,
+    ) -> RunReport:
+        """Submit one job; await its report.
+
+        Validation errors (bad kernel/steps) raise immediately, as
+        ``stencil.run`` would.  :class:`ServerBusy` signals backpressure
+        — the job was not queued.  ``options`` overrides the server's
+        base run options for this job; jobs only batch with jobs that
+        share the same effective options object semantics, so per-job
+        overrides land in their own signature groups.
+        """
+        if self._closed or self._draining:
+            raise ServerClosed("server is draining; resubmit elsewhere")
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        run_options = options if options is not None else self.options.run
+        assert run_options is not None
+        problem = stencil.prepare(steps, kernel)
+        if self._in_system_jobs >= self.options.max_pending:
+            self.stats["rejected"] += 1
+            raise ServerBusy(
+                f"{self._in_system_jobs} jobs in system (bound "
+                f"{self.options.max_pending}); retry after backoff"
+            )
+        points = problem.total_points
+        bound = self.options.max_pending_points
+        if bound is not None and self._in_system_points + points > bound:
+            self.stats["rejected"] += 1
+            raise ServerBusy(
+                f"volume bound {bound} points would be exceeded; "
+                f"retry after backoff"
+            )
+        from repro.compiler.batch import batch_signature
+
+        key = batch_signature(problem) + (id(run_options),)
+        job = _Job(
+            problem=problem,
+            stencil=stencil,
+            future=self._loop.create_future(),
+            enqueued=time.perf_counter(),
+        )
+        self.stats["submitted"] += 1
+        self._in_system_jobs += 1
+        self._in_system_points += points
+        job._points = points  # type: ignore[attr-defined]
+        job._options = run_options  # type: ignore[attr-defined]
+        group = self._pending.setdefault(key, [])
+        group.append(job)
+        if len(group) >= self.options.max_batch:
+            self._flush(key)
+        elif key not in self._flush_handles:
+            self._flush_handles[key] = self._loop.call_later(
+                self.options.batch_window, self._flush, key
+            )
+        return await job.future
+
+    # -- dispatch ----------------------------------------------------------
+    def _flush(self, key: tuple) -> None:
+        handle = self._flush_handles.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        jobs = self._pending.pop(key, None)
+        if not jobs:
+            return
+        assert self._loop is not None
+        task = self._loop.create_task(self._run_batch(key, jobs))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    def _plan(self, options: RunOptions) -> tuple[bool, str, str | None]:
+        """(batch?, mode for the run, degradation tag or None)."""
+        if options.supervise is not None or options.executor == "procs":
+            # Supervised jobs keep their full fault-tolerance semantics;
+            # those run per-job (the worker pool is warm either way).
+            return False, options.mode, "serve:supervised->unbatched"
+        mode = options.mode
+        if mode == "auto":
+            from repro.compiler.codegen_c import find_c_compiler
+
+            if find_c_compiler() is not None:
+                # The server's auto rule differs from a single run's:
+                # batched compiled dispatch is the whole point, and the
+                # .so is amortized across the server's lifetime.
+                return True, "c", None
+            return False, "split_pointer", "serve:no-cc->unbatched-numpy"
+        if mode in ("c", "split_pointer"):
+            return True, mode, None
+        return False, mode, "serve:mode-cannot-batch->unbatched"
+
+    async def _run_batch(self, key: tuple, jobs: list[_Job]) -> None:
+        from repro.trap.driver import execute_batch
+
+        started = time.perf_counter()
+        options: RunOptions = jobs[0]._options  # type: ignore[attr-defined]
+        batch, mode, tag = self._plan(options)
+        run_options = (
+            replace(options, mode=mode) if mode != options.mode else options
+        )
+        try:
+            if batch:
+                was_warm = await self._ensure_compiled(key, jobs[0].problem, mode)
+                try:
+                    reports = await asyncio.to_thread(
+                        execute_batch, [j.problem for j in jobs], run_options
+                    )
+                    self.stats["batches"] += 1
+                    self.stats["batched_jobs"] += len(jobs)
+                except (CompileError, SpecificationError):
+                    # Unbatchable after all (e.g. a boundary kind the
+                    # batched clones cannot express): run the jobs
+                    # one by one rather than failing them.
+                    tag = "serve:unbatchable->sequential"
+                    reports = await asyncio.to_thread(
+                        self._run_sequential, jobs, run_options
+                    )
+            else:
+                was_warm = False
+                reports = await asyncio.to_thread(
+                    self._run_sequential, jobs, run_options
+                )
+            for job, report in zip(jobs, reports):
+                if tag is not None and tag not in report.degradations:
+                    report.degradations.append(tag)
+                report.queue_wait = started - job.enqueued
+                report.compile_cache_hit = was_warm
+                self._finish_job(job)
+                self.stats["completed"] += 1
+                if not job.future.done():
+                    job.future.set_result(report)
+        except BaseException as exc:
+            for job in jobs:
+                self.stats["failed"] += 1
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+        finally:
+            for job in jobs:
+                self._in_system_jobs -= 1
+                self._in_system_points -= job._points  # type: ignore[attr-defined]
+
+    def _run_sequential(
+        self, jobs: list[_Job], options: RunOptions
+    ) -> list[RunReport]:
+        """The unbatched path (one thread, jobs in order): plain
+        ``execute_problem`` per job — the degraded-but-correct serving
+        mode for toolchain-less hosts and unbatchable configurations."""
+        from repro.trap.driver import execute_problem
+
+        self.stats["unbatched_jobs"] += len(jobs)
+        return [execute_problem(job.problem, options) for job in jobs]
+
+    @staticmethod
+    def _finish_job(job: _Job) -> None:
+        """The bookkeeping ``Stencil.run`` does after a direct run."""
+        for arr in job.problem.arrays.values():
+            arr.note_written_through(job.problem.t_end - 1)
+        job.stencil.advance_cursor(job.problem)
+
+    async def _ensure_compiled(
+        self, key: tuple, template: Problem, mode: str
+    ) -> bool:
+        """Single-flight kernel prewarm; returns whether it was warm.
+
+        The expensive artifact is the ``.so`` (shared by digest between
+        batched and single-job clones): one flight per (signature, mode)
+        builds it while concurrent batches of the same kernel await the
+        same future instead of racing into cc.  Cross-process, the
+        per-digest compile lock extends the same guarantee.  Prewarm
+        failures are swallowed — the batch run itself will degrade (or
+        raise) with full reporting.
+        """
+        if mode != "c":
+            return key[:1] + (mode,) in self._warm_kernels
+        fkey = key[:1] + (mode,)
+        if fkey in self._warm_kernels:
+            return True
+        flight = self._compile_flights.get(fkey)
+        if flight is None:
+            assert self._loop is not None
+            flight = self._loop.create_future()
+            self._compile_flights[fkey] = flight
+            from repro.compiler.pipeline import compile_kernel_resilient
+
+            try:
+                await asyncio.to_thread(compile_kernel_resilient, template, mode)
+            except Exception:
+                pass
+            finally:
+                self._warm_kernels.add(fkey)
+                self._compile_flights.pop(fkey, None)
+                if not flight.done():
+                    flight.set_result(None)
+            return False
+        await flight
+        return True

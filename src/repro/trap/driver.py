@@ -392,3 +392,84 @@ def execute_problem(problem: Problem, options: RunOptions) -> RunReport:
             # arming and the faults registry's walk.pool site).
             degradations.note("walk-pool:start-failed->serial")
     return report
+
+
+def execute_batch(
+    problems: list[Problem], options: RunOptions
+) -> list[RunReport]:
+    """Run K same-signature problems through ONE decomposition.
+
+    The batch path of the serving layer: the jobs' arrays are stacked
+    into contiguous per-array buffers, the template job's kernel is
+    compiled with batched clones bound against the stack
+    (:mod:`repro.compiler.batch`), and a single serial event stream then
+    executes every region once — each leaf/step/walk call covering all K
+    jobs, GIL-released for the C backend.  Results are scattered back
+    into each job's own arrays, bitwise identical to running the jobs
+    one at a time.
+
+    Returns one :class:`RunReport` per job, in order.  ``elapsed`` /
+    ``base_cases`` describe the shared batched run (identical across
+    the reports, with ``batch_size`` recording the sharing);
+    ``points_updated`` is per job.  A ``"c"`` request degrades to
+    batched NumPy with the usual note; a mode/boundary that cannot
+    batch raises :class:`~repro.errors.CompileError` — the serving
+    layer falls back to unbatched sequential execution instead of
+    calling this.  Checkpointing, resume, and the parallel executors
+    are deliberately unsupported here: batches are small and short, and
+    the per-job supervised path remains available unbatched.
+    """
+    from repro.compiler.batch import (
+        compile_batch_kernel,
+        scatter_results,
+        stack_problems,
+    )
+    from repro.compiler.pipeline import resolve_mode
+
+    if not problems:
+        return []
+    if options.checkpoint is not None or options.resume_from is not None:
+        raise SpecificationError(
+            "batched execution does not support checkpoint/resume"
+        )
+    template = problems[0]
+    reports = [
+        RunReport(
+            algorithm=options.algorithm,
+            mode="",
+            t_start=p.t_start,
+            t_end=p.t_end,
+            batch_size=len(problems),
+        )
+        for p in problems
+    ]
+    if template.steps == 0:
+        return reports
+    shared_degradations: list[str] = []
+    with degradations.collect(shared_degradations):
+        options, autotune_source = _consult_registry(template, options)
+        stack = stack_problems(problems)
+        compiled = compile_batch_kernel(stack, options.mode)
+        if resolve_mode(options.mode) != compiled.mode:
+            options = _dc_replace(options, mode=compiled.mode)
+        if not options.fuse_leaves:
+            compiled = compiled.without_fused_leaves()
+        t0 = time.perf_counter()
+        stats = execute_serial_stream(
+            build_events(template, options),
+            compiled,
+            collect_stats=options.collect_stats,
+        )
+        elapsed = time.perf_counter() - t0
+        scatter_results(stack)
+    for p, report in zip(problems, reports):
+        report.mode = compiled.mode
+        report.autotune_source = autotune_source
+        report.registry_hit = autotune_source == "registry"
+        report.executor = stats.executor
+        report.elapsed = elapsed
+        report.busy_time = stats.busy_time
+        report.base_cases = stats.base_cases
+        report.points_updated = p.total_points
+        report.degradations = list(shared_degradations)
+    return reports

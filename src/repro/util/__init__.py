@@ -1,10 +1,11 @@
 """Small shared utilities: timing, ASCII tables, integer math, CPUs,
-durable file writes."""
+durable file writes, inter-process locks."""
 
 from repro.util.timing import Timer, measure
 from repro.util.tables import Table
 from repro.util.intmath import ceil_div, floor_div, ilog2, is_pow2, next_pow2
 from repro.util.cpus import detect_cpu_count
+from repro.util.locks import interprocess_lock
 from repro.util.atomic import (
     atomic_write_bytes,
     atomic_write_chunks,
@@ -27,6 +28,7 @@ __all__ = [
     "fsync_dir",
     "fsync_file",
     "ilog2",
+    "interprocess_lock",
     "is_pow2",
     "next_pow2",
     "detect_cpu_count",

@@ -1,0 +1,64 @@
+"""Advisory inter-process file locks.
+
+A long-running server multiplies every cross-process race: the autotune
+registry's read-modify-write, the ``.so`` cache's compile-then-rename,
+and anything else that assumed "two processes rarely collide" suddenly
+collides on every request burst.  This module is the shared fix: an
+``fcntl.flock``-based exclusive lock held for the duration of a critical
+section, keyed on a lockfile path.
+
+``flock`` (not ``lockf``) deliberately: it locks the *open file
+description*, so two threads of one process locking the same path via
+separate ``os.open`` calls serialize against each other exactly like two
+processes do — one primitive covers both axes.
+
+The lock is advisory and best-effort, matching the degradation
+discipline of the stores it protects: on platforms without ``fcntl`` or
+filesystems that refuse to lock (some network mounts), the context
+manager yields ``False`` and the caller proceeds unlocked — the
+pre-existing small race is strictly better than failing the operation.
+Lockfiles are left in place after release (unlinking a lockfile that
+another process may have just opened reintroduces the race being
+fixed).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+try:  # pragma: no cover - fcntl exists on every POSIX we run on
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def interprocess_lock(path: str | os.PathLike) -> Iterator[bool]:
+    """Hold an exclusive advisory lock on ``path`` for the block.
+
+    Yields ``True`` while the lock is held, ``False`` when locking is
+    unavailable (missing ``fcntl``, unwritable directory, filesystem
+    refusing ``flock``) — callers run the critical section either way.
+    Blocks until the current holder releases; holders release on close,
+    so a crashed process never wedges the lock.
+    """
+    fd = None
+    if fcntl is not None:
+        try:
+            fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            if fd is not None:
+                os.close(fd)
+                fd = None
+    try:
+        yield fd is not None
+    finally:
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)

@@ -1,0 +1,85 @@
+"""Multiprocess registry stress: concurrent stores must merge, not drop.
+
+Before the flock around ``store()``'s load→merge→dump, two processes
+racing the read-modify-write would last-writer-wins each other's
+entries — exactly the load a serving fleet of tune-on-miss workers
+produces.  This test proves zero lost updates: N writer subprocesses
+hammer one registry file through a file barrier (maximal overlap), and
+every single entry must be present afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.autotune import registry
+
+N_WRITERS = 8
+ENTRIES_PER_WRITER = 16
+
+_WRITER = """
+import os, sys, time
+sys.path.insert(0, "src")
+from repro.autotune.registry import TunedConfig, store
+from tests.conftest import make_heat_problem
+
+wid, go_file = int(sys.argv[1]), sys.argv[2]
+st, u, k = make_heat_problem((16, 16))
+problem = st.prepare(4, k)
+# Barrier: all writers spin here until the parent creates the go file,
+# so the stores overlap as much as the scheduler allows.
+while not os.path.exists(go_file):
+    time.sleep(0.001)
+ok = 0
+for i in range({entries}):
+    config = TunedConfig(space_thresholds=(8, 8), dt_threshold=2,
+                         best_time=float(wid), evaluations=i)
+    if store(problem, f"stress-w{{wid}}-e{{i}}", config):
+        ok += 1
+print(ok)
+""".format(entries=ENTRIES_PER_WRITER)
+
+
+def test_concurrent_stores_lose_nothing(tmp_path, monkeypatch):
+    reg_path = tmp_path / "registry.json"
+    go_file = tmp_path / "go"
+    monkeypatch.setenv("REPRO_TUNE_REGISTRY", str(reg_path))
+    env = dict(os.environ)
+    env["REPRO_TUNE_REGISTRY"] = str(reg_path)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH", ""), "src", ".") if p
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WRITER, str(wid), str(go_file)],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for wid in range(N_WRITERS)
+    ]
+    time.sleep(0.3)  # let every writer reach the barrier
+    go_file.write_text("go")
+    stored = 0
+    for proc in procs:
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 0
+        stored += int(out.strip())
+    assert stored == N_WRITERS * ENTRIES_PER_WRITER
+
+    entries = registry.entries()
+    expected = {
+        f"stress-w{wid}-e{i}"
+        for wid in range(N_WRITERS)
+        for i in range(ENTRIES_PER_WRITER)
+    }
+    # Every key embeds its backend string; recover the backend part.
+    got = {key.split("|")[1] for key in entries}
+    missing = expected - got
+    assert not missing, (
+        f"{len(missing)} of {len(expected)} concurrent stores were lost "
+        f"(last-writer-wins race): {sorted(missing)[:5]}..."
+    )

@@ -1,0 +1,85 @@
+"""Cross-process compile dedup: one cc invocation per kernel digest.
+
+``build_shared_object`` holds an ``fcntl.flock`` on a per-digest
+lockfile around write-source→cc→durable-replace, so a thundering herd
+of processes compiling the same kernel (a server fanning one stencil
+out to many workers) pays for exactly one compiler run — the rest wait
+on the lock, re-check the cache, and load the winner's object.  The
+``$REPRO_CC_COUNT_FILE`` hook appends one line per actual cc
+invocation (O_APPEND, atomic across processes), making "exactly one"
+directly observable.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from tests.conftest import has_c_backend
+
+pytestmark = pytest.mark.skipif(
+    not has_c_backend(), reason="needs a C toolchain"
+)
+
+N_PROCS = 4
+
+_SOURCE = r"""
+#include <stdint.h>
+int64_t repro_race_probe(int64_t x) { return x * 2654435761LL + %d; }
+"""
+
+_CHILD = """
+import os, sys, time
+sys.path.insert(0, "src")
+from repro.compiler.codegen_c import build_shared_object
+
+go_file, source_path = sys.argv[1], sys.argv[2]
+source = open(source_path).read()
+while not os.path.exists(go_file):
+    time.sleep(0.001)
+path = build_shared_object(source)
+assert path.exists(), path
+print(path)
+"""
+
+
+def test_racing_builds_invoke_cc_exactly_once(tmp_path):
+    count_file = tmp_path / "cc_count"
+    go_file = tmp_path / "go"
+    source_path = tmp_path / "probe.c"
+    # A salt unique to this test run keeps the digest out of any
+    # pre-existing cache even though the cache dir is fresh anyway.
+    source_path.write_text(_SOURCE % (os.getpid(),))
+    env = dict(os.environ)
+    env["REPRO_CC_CACHE"] = str(tmp_path / "cache")
+    env["REPRO_CC_COUNT_FILE"] = str(count_file)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH", ""), "src", ".") if p
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _CHILD, str(go_file), str(source_path)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(N_PROCS)
+    ]
+    time.sleep(0.3)  # everyone at the barrier
+    go_file.write_text("go")
+    so_paths = set()
+    for proc in procs:
+        out, err = proc.communicate(timeout=180)
+        assert proc.returncode == 0, err
+        so_paths.add(out.strip())
+    assert len(so_paths) == 1, "all processes must load the same object"
+    cc_runs = count_file.read_text().splitlines()
+    assert len(cc_runs) == 1, (
+        f"{len(cc_runs)} cc invocations for one digest across "
+        f"{N_PROCS} racing processes — the per-digest lock failed"
+    )

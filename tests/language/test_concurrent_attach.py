@@ -1,0 +1,81 @@
+"""Concurrent shared-memory attach must not corrupt the tracker shim.
+
+On Python < 3.13, ``PochoirArray.__setstate__`` attaches to a shared
+segment by temporarily replacing ``resource_tracker.register`` with a
+no-op (there is no ``track=False``).  That replacement is process-global
+state: without the module lock, two interleaved attaches could restore
+the *shim* as the permanent ``register`` (leaking tracker registrations
+forever) or register a mere attachment (the tracker then unlinks live
+state at exit).  This test forces the legacy path, widens the race
+window with a sleep inside the constructor, attaches from many threads,
+and asserts the tracker function survives intact.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+import pytest
+
+from repro import PochoirArray
+
+
+@pytest.fixture
+def legacy_untracked_shm(monkeypatch):
+    """Force the pre-3.13 attach path with an enlarged race window."""
+
+    real = shared_memory.SharedMemory
+
+    class LegacySharedMemory(real):
+        def __init__(self, name=None, create=False, size=0, **kwargs):
+            if "track" in kwargs:
+                raise TypeError("track is not supported")  # pre-3.13
+            if not create:
+                time.sleep(0.002)  # widen the patch/attach/restore window
+            super().__init__(name=name, create=create, size=size)
+
+    monkeypatch.setattr(shared_memory, "SharedMemory", LegacySharedMemory)
+    return real
+
+
+def test_threaded_attach_preserves_resource_tracker(legacy_untracked_shm):
+    orig_register = resource_tracker.register
+    arr = PochoirArray("u", (8, 8))
+    arr.set_initial(np.arange(64, dtype=np.float64).reshape(8, 8))
+    arr.share()
+    try:
+        blob = pickle.dumps(arr)
+        errors: list[BaseException] = []
+        attached: list[PochoirArray] = []
+        lock = threading.Lock()
+
+        def attach_many() -> None:
+            try:
+                for _ in range(10):
+                    clone = pickle.loads(blob)
+                    assert np.array_equal(clone.data, arr.data)
+                    with lock:
+                        attached.append(clone)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=attach_many) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert len(attached) == 80
+        # The invariant the lock protects: after every attach settles,
+        # the real tracker function is back — not a leaked no-op shim.
+        assert resource_tracker.register is orig_register
+        for clone in attached:
+            clone.data = np.array(clone.data)  # drop the buffer view
+            clone._shm.close()
+    finally:
+        arr.unshare()
+        assert resource_tracker.register is orig_register
