@@ -12,9 +12,18 @@ admissible at all:
   the same job run sequentially (same decomposition, same clones; only
   the outer batch loop differs).
 
-Acceptance: batched throughput must reach **1.5x** sequential at
-measuring scale.  The anchor binds in measuring mode only — ``--check``
-and tiny-scale smoke runs never fail on timing.
+A second leg measures the **network transport**: the same server-shaped
+workload submitted through :class:`StencilClient` over a loopback TCP
+endpoint versus the in-process ``submit`` path.  The wire costs pickling
+each problem, framing, two socket trips, and the client-side buffer
+copy-back; on a realistically-sized serving job that round-trip
+overhead must stay small — and the results must again be bitwise
+identical to sequential runs.
+
+Acceptance: batched throughput must reach **1.5x** sequential, and the
+loopback round trip must cost at most **1.25x** the in-process submit,
+at measuring scale.  Both anchors bind in measuring mode only —
+``--check`` and tiny-scale smoke runs never fail on timing.
 
 Without a C toolchain (``REPRO_NO_CC=1``) the server degrades to
 unbatched NumPy serving; the benchmark then verifies the degradation
@@ -55,12 +64,25 @@ APP = "heat2d"
 #: at measuring scale (measuring mode only).
 MIN_SPEEDUP = 1.5
 
+#: Acceptance: the loopback round trip may cost at most this factor
+#: over the in-process submit path (measuring mode only).
+MAX_NET_OVERHEAD = 1.25
+
 
 def _scale() -> tuple[tuple[int, int], int, int]:
     """(sizes, steps, n_jobs) — many small jobs, server-shaped."""
     if is_tiny():
         return (24, 24), 8, 4
     return (64, 64), 16, 24
+
+
+def _net_scale() -> tuple[tuple[int, int], int, int]:
+    """The network leg's workload: jobs deep enough in timesteps that
+    per-job compute dominates the (step-independent) wire bytes — the
+    shape a remote caller actually ships."""
+    if is_tiny():
+        return (24, 24), 8, 4
+    return (96, 96), 64, 16
 
 
 def _build_jobs(n_jobs: int):
@@ -90,6 +112,74 @@ def _run_sequential(apps, mode: str) -> float:
     return time.perf_counter() - t0
 
 
+def _run_network_leg(check_only: bool, has_cc: bool, seq_mode: str) -> dict:
+    """Loopback round trip versus in-process submit, A/B interleaved."""
+    from repro.serve import LoopbackServer, ServeOptions, StencilClient
+
+    sizes, steps, n_jobs = _net_scale()
+    reps = 1 if (check_only or is_tiny()) else 3
+
+    def build():
+        return [build_heat(sizes, steps, seed=s) for s in range(n_jobs)]
+
+    inproc_s = net_s = None
+    net_apps = net_reports = None
+    with LoopbackServer(
+        ServeOptions(max_batch=n_jobs, batch_window=0.25)
+    ) as lb:
+        with StencilClient(
+            lb.host, lb.port, request_timeout=600.0
+        ) as client:
+            # Warm both sides: the compile caches for this signature and
+            # the TCP connection (neither pays setup in a timed region).
+            _serve_batched(build()[:2])
+            client.submit_many(
+                [(a.stencil, a.steps, a.kernel) for a in build()[:2]]
+            )
+            for i in range(max(1, reps)):
+                order = ("inproc", "net") if i % 2 == 0 else ("net", "inproc")
+                for side in order:
+                    apps = build()
+                    if side == "inproc":
+                        t, _ = _serve_batched(apps)
+                        if inproc_s is None or t < inproc_s:
+                            inproc_s = t
+                    else:
+                        t0 = time.perf_counter()
+                        reports = client.submit_many(
+                            [(a.stencil, a.steps, a.kernel) for a in apps]
+                        )
+                        t = time.perf_counter() - t0
+                        if net_s is None or t < net_s:
+                            net_s, net_apps, net_reports = t, apps, reports
+
+    refs = build()
+    _run_sequential(refs, seq_mode)
+    bitwise = all(
+        np.array_equal(a.result(), b.result())
+        for a, b in zip(net_apps, refs)
+    )
+    overhead = round(net_s / inproc_s, 4) if inproc_s > 0 else 0.0
+    return {
+        "sizes": list(sizes),
+        "steps": steps,
+        "n_jobs": n_jobs,
+        "inprocess_wall_s": round(inproc_s, 4),
+        "network_wall_s": round(net_s, 4),
+        "overhead": overhead,
+        "bitwise_equal": bool(bitwise),
+        "transports": sorted({r.transport for r in net_reports}),
+        "max_attempts": max(r.attempts for r in net_reports),
+        "replays": sum(1 for r in net_reports if r.replayed),
+        "overhead_ok": bool(
+            check_only
+            or is_tiny()
+            or not has_cc
+            or overhead <= MAX_NET_OVERHEAD
+        ),
+    }
+
+
 def _failures(payload: dict) -> list[str]:
     bad = []
     if not payload["bitwise_equal"]:
@@ -102,6 +192,13 @@ def _failures(payload: dict) -> list[str]:
             bad.append("no-cc-tag-missing")
     if not payload["speedup_ok"]:
         bad.append("speedup")
+    net = payload["network"]
+    if not net["bitwise_equal"]:
+        bad.append("net-bitwise")
+    if net["transports"] != ["tcp"]:
+        bad.append("net-transport")
+    if not net["overhead_ok"]:
+        bad.append("net-overhead")
     return bad
 
 
@@ -168,6 +265,7 @@ def run_serve_bench(check_only: bool = False) -> dict:
         or not has_cc
         or payload["speedup"] >= MIN_SPEEDUP
     )
+    payload["network"] = _run_network_leg(check_only, has_cc, seq_mode)
     if not check_only and not is_tiny() and has_cc and not _failures(payload):
         write_bench_json("serve", payload)
     return payload
@@ -180,10 +278,13 @@ def test_serve_throughput(benchmark):
     payload = once(benchmark, run_serve_bench)
     assert not _failures(payload), _failures(payload)
     benchmark.extra_info["speedup"] = payload["speedup"]
+    benchmark.extra_info["net_overhead"] = payload["network"]["overhead"]
     print(
         f"\n[serve] sequential {payload['sequential_wall_s']:.3f}s, "
         f"batched {payload['batched_wall_s']:.3f}s "
-        f"({payload['speedup']:.2f}x) over {payload['n_jobs']} jobs"
+        f"({payload['speedup']:.2f}x) over {payload['n_jobs']} jobs; "
+        f"loopback round trip {payload['network']['overhead']:.2f}x "
+        f"in-process"
     )
 
 
@@ -198,11 +299,15 @@ if __name__ == "__main__":
         mode = "batched" if payload["has_cc"] else "degraded (no cc)"
         print(
             f"serve ok: {payload['n_jobs']} jobs bitwise-equal, {mode}, "
-            f"speedup {payload['speedup']:.2f}x"
+            f"speedup {payload['speedup']:.2f}x; network round trip "
+            f"{payload['network']['overhead']:.2f}x in-process, "
+            f"bitwise-equal"
         )
     else:
         print(
             f"serve: sequential {payload['sequential_wall_s']:.3f}s, "
             f"batched {payload['batched_wall_s']:.3f}s "
-            f"({payload['speedup']:.2f}x) — BENCH_serve.json written"
+            f"({payload['speedup']:.2f}x); loopback round trip "
+            f"{payload['network']['overhead']:.2f}x in-process — "
+            f"BENCH_serve.json written"
         )

@@ -39,7 +39,16 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.resilience import Checkpoint, CheckpointPolicy, resume
-from repro.serve import ServeOptions, ServerBusy, ServerClosed, StencilServer
+from repro.serve import (
+    DeadlineExceeded,
+    JobExpired,
+    ServeOptions,
+    ServerBusy,
+    ServerClosed,
+    StencilClient,
+    StencilServer,
+    serve_tcp,
+)
 from repro.supervise import SuperviseOptions
 from repro.expr import (
     Param,
@@ -83,8 +92,10 @@ __all__ = [
     "CompileError",
     "ConstArray",
     "ConstantBoundary",
+    "DeadlineExceeded",
     "DirichletBoundary",
     "ExecutionError",
+    "JobExpired",
     "Kernel",
     "KernelError",
     "MixedBoundary",
@@ -103,8 +114,10 @@ __all__ = [
     "ShapeViolationError",
     "SpecificationError",
     "Stencil",
+    "StencilClient",
     "StencilServer",
     "SuperviseOptions",
+    "serve_tcp",
     "ZeroBoundary",
     "eq_",
     "fmath",

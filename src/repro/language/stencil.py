@@ -359,6 +359,16 @@ class RunReport:
     batch_size: int = 1
     compile_cache_hit: bool = False
     registry_hit: bool = False
+    #: Networked-serving telemetry (filled by :mod:`repro.serve.client`;
+    #: defaults for local runs): which transport served the job
+    #: (``"local"`` in-process, ``"tcp"`` over the framed socket
+    #: protocol), how many wire attempts the client's retry loop made
+    #: (1 = first try succeeded), and whether the response was served
+    #: from the server's idempotent result journal instead of a fresh
+    #: execution (a retry arrived after the job already ran).
+    transport: str = "local"
+    attempts: int = 1
+    replayed: bool = False
 
     @property
     def points_per_second(self) -> float:

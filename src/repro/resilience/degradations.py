@@ -11,6 +11,16 @@ report to fill).
 Tags are deduplicated per sink and ordered by first firing, so a
 fallback that fires once per base case still records one line.
 
+The serving layer adds two tag families that ride the same list:
+``serve:*`` tags are appended to finished reports by the job server
+(e.g. ``serve:no-cc->unbatched-numpy``, ``serve:supervised->unbatched``)
+— and ``serve:expired`` travels on the :class:`~repro.serve.server.
+JobExpired` exception instead, since a shed job has no report.
+``net:*`` tags are appended client-side by
+:class:`~repro.serve.client.StencilClient` (``net:retried`` when a job
+needed more than one wire attempt), recording transport-level recovery
+in the same place execution fallbacks land.
+
 Concurrency: sinks live in a process-global stack guarded by a lock, so
 notes from DAG worker threads land in the run that spawned them.  Two
 *nested* concurrent runs (a kernel calling ``Stencil.run``) both report

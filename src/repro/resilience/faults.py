@@ -35,6 +35,17 @@ Sites (each guarded by :func:`fire` at exactly one code location):
 ``shm.attach``            the shared-memory segment for a supervised run
                           cannot be created/attached (the executor degrades
                           to the in-process ``"dag"`` runtime)
+``net.accept``            the TCP front-end aborts a just-accepted
+                          connection before reading a byte (listener
+                          flap; the client reconnects and retries)
+``net.torn``              a response frame is torn: the server writes the
+                          header and a payload prefix, then drops the
+                          connection (the classic half-written wire state)
+``net.drop``              the connection drops after the job executed but
+                          *before* its response is sent — the
+                          retry-ambiguity case idempotent replay resolves
+``net.slow``              the server stalls before responding (a slow
+                          peer; exercises the client's request deadline)
 ========================  ====================================================
 
 Arming:
@@ -84,6 +95,10 @@ KNOWN_SITES = (
     "worker.segfault",
     "worker.hang",
     "shm.attach",
+    "net.accept",
+    "net.torn",
+    "net.drop",
+    "net.slow",
 )
 
 

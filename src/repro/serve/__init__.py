@@ -30,15 +30,50 @@ that turns those from per-process caches into serving infrastructure:
 Degradation follows the house rules: no C toolchain (or an unbatchable
 mode/boundary) never fails a job — it runs unbatched on the NumPy
 backend with a ``serve:*`` tag in ``report.degradations``.
+
+PR 10 adds the **network transport**: :func:`repro.serve.net.serve_tcp`
+exposes a running server over a length-prefixed framed TCP protocol
+(:mod:`repro.serve.protocol`), and :class:`repro.serve.client.
+StencilClient` is the robust caller — connect/request deadlines,
+exponential backoff with jitter, and idempotency keys deduplicated
+against the server's bounded result journal, so every accepted job
+executes exactly once with bitwise-identical results no matter how the
+wire misbehaves (the ``net.*`` fault sites prove it).  Per-job
+deadlines (``submit(..., timeout=)`` / :class:`JobExpired`) and the
+enriched :class:`ServerBusy` backpressure fields apply to the
+in-process server too.
 """
 
 from __future__ import annotations
 
+from repro.serve.client import StencilClient
+from repro.serve.net import LoopbackServer, NetServer, serve_tcp
+from repro.serve.protocol import (
+    DeadlineExceeded,
+    FrameTooLarge,
+    ProtocolError,
+    RemoteError,
+)
 from repro.serve.server import (
+    JobExpired,
     ServeOptions,
     ServerBusy,
     ServerClosed,
     StencilServer,
 )
 
-__all__ = ["ServeOptions", "ServerBusy", "ServerClosed", "StencilServer"]
+__all__ = [
+    "DeadlineExceeded",
+    "FrameTooLarge",
+    "JobExpired",
+    "LoopbackServer",
+    "NetServer",
+    "ProtocolError",
+    "RemoteError",
+    "ServeOptions",
+    "ServerBusy",
+    "ServerClosed",
+    "StencilClient",
+    "StencilServer",
+    "serve_tcp",
+]

@@ -1,0 +1,536 @@
+"""The TCP front-end: :func:`serve_tcp` exposes a :class:`StencilServer`
+to remote callers over the framed protocol of :mod:`repro.serve.protocol`.
+
+The network boundary is where every new failure mode of the serving
+story lives — torn frames, dropped connections, slow peers, duplicated
+retries — so this module treats each as a first-class design input:
+
+* **idempotent replay** — every submit carries a client idempotency
+  key; completed responses live in a bounded LRU **result journal**, so
+  a retry after a dropped response replays the recorded bytes instead
+  of executing the job again.  Accepted jobs execute exactly once
+  (within the journal's capacity), bitwise-identical to a local run.
+* **deadline propagation** — a submit's remaining time budget rides in
+  the frame; a job still queued past it is shed with a typed
+  ``expired`` error before dispatch (:class:`~repro.serve.server.
+  JobExpired`), never silently run.
+* **typed backpressure** — :class:`~repro.serve.server.ServerBusy`
+  crosses the wire with its ``pending_jobs``/``pending_points``/
+  ``retry_after`` fields so clients back off intelligently.
+* **poisoned connections, healthy server** — a malformed or oversized
+  frame draws a best-effort ``protocol`` error and closes *that*
+  connection; other connections and the server are untouched.
+* **graceful drain** — SIGTERM (via :meth:`NetServer.
+  install_signal_handlers`) stops admitting, finishes every accepted
+  remote job, flushes its response, then closes listeners and
+  connections.
+* **wire-level fault injection** — the ``net.*`` sites of
+  :mod:`repro.resilience.faults` (``net.accept``, ``net.torn``,
+  ``net.drop``, ``net.slow``) are consumed here, so the client×server
+  fault-matrix tests can prove the whole surface.
+
+:class:`LoopbackServer` runs the event loop on a background thread for
+synchronous callers — the unit tests, the benchmark's network leg, and
+quick scripts all share it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal as _signal
+import threading
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.errors import SpecificationError
+from repro.resilience import faults
+from repro.serve import protocol
+from repro.serve.protocol import (
+    T_ERROR,
+    T_HEALTH,
+    T_HEALTH_OK,
+    T_RESULT,
+    T_SUBMIT,
+)
+from repro.serve.server import (
+    JobExpired,
+    ServeOptions,
+    ServerBusy,
+    ServerClosed,
+    StencilServer,
+)
+
+#: How long the ``net.slow`` fault stalls a response — long enough to
+#: trip a sub-second client deadline, short enough for test suites.
+SLOW_PEER_STALL = 0.35
+
+#: Default bound on remembered responses (idempotent replay window).
+JOURNAL_LIMIT = 256
+
+
+def error_payload(key: str | None, exc: BaseException) -> dict:
+    """The typed wire form of a server-side failure."""
+    if isinstance(exc, ServerBusy):
+        return {
+            "key": key,
+            "code": "busy",
+            "message": str(exc),
+            "pending_jobs": exc.pending_jobs,
+            "pending_points": exc.pending_points,
+            "retry_after": exc.retry_after,
+        }
+    if isinstance(exc, ServerClosed):
+        code = "closed"
+    elif isinstance(exc, JobExpired):
+        code = "expired"
+    elif isinstance(exc, SpecificationError):
+        code = "invalid"
+    elif isinstance(exc, protocol.ProtocolError):
+        code = "protocol"
+    else:
+        code = "internal"
+    return {
+        "key": key,
+        "code": code,
+        "message": str(exc) or type(exc).__name__,
+        "remote_type": type(exc).__name__,
+    }
+
+
+class NetServer:
+    """One listening front-end bound to a :class:`StencilServer`.
+
+    Construct via :func:`serve_tcp`.  ``stats`` counts connections,
+    requests, journal replays, injected wire faults, and protocol
+    errors; the execution counters stay on ``server.stats`` (so
+    ``server.stats["completed"]`` counting each accepted job exactly
+    once *is* the exactly-once check the fault matrix asserts).
+    """
+
+    def __init__(
+        self,
+        server: StencilServer,
+        host: str,
+        port: int,
+        *,
+        max_frame: int = protocol.MAX_FRAME,
+        journal_limit: int = JOURNAL_LIMIT,
+    ):
+        self.server = server
+        self.max_frame = max_frame
+        self.journal_limit = journal_limit
+        self.stats: dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "replayed": 0,
+            "protocol_errors": 0,
+            "health_probes": 0,
+            "wire_faults": 0,
+        }
+        self._requested = (host, port)
+        self._aio_server: asyncio.base_events.Server | None = None
+        #: key -> completed response ``(ftype, payload dict)`` or an
+        #: in-flight future resolving to one.  Bounded LRU over the
+        #: completed entries; in-flight futures are never evicted.
+        self._journal: OrderedDict[str, object] = OrderedDict()
+        self._inflight: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._closed = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "NetServer":
+        host, port = self._requested
+        self._aio_server = await asyncio.start_server(
+            self._on_connection, host, port
+        )
+        return self
+
+    @property
+    def host(self) -> str:
+        assert self._aio_server is not None, "start() first"
+        return self._aio_server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        assert self._aio_server is not None, "start() first"
+        return self._aio_server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(
+        self, signals: Iterable[int] = (_signal.SIGTERM,)
+    ) -> None:
+        """SIGTERM => graceful drain (finish accepted jobs, then close)."""
+        loop = asyncio.get_running_loop()
+        for sig in signals:
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.drain())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def drain(self) -> None:
+        """Stop admitting; finish and answer every accepted remote job;
+        close listeners and connections; release :meth:`serve_forever`.
+        """
+        if self._draining:
+            await self._closed.wait()
+            return
+        self._draining = True
+        # New submissions now fail typed ("closed"); the in-process
+        # server finishes everything already accepted.
+        await self.server.close()
+        # Every in-flight request handler flushes its response before
+        # its task completes, so this barrier IS the "answer every
+        # accepted remote job" guarantee.
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self._aio_server is not None:
+            self._aio_server.close()
+        for writer in list(self._writers):
+            writer.close()
+        # Closed transports EOF the connection handlers' readers; wait
+        # for them so loop teardown never cancels one mid-read.
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=10)
+        if self._aio_server is not None:
+            try:
+                await self._aio_server.wait_closed()
+            except Exception:  # pragma: no cover - platform quirks
+                pass
+        self._closed.set()
+
+    async def serve_forever(self) -> None:
+        """Block until a drain (signal or API) completes."""
+        await self._closed.wait()
+
+    # -- connection handling ----------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats["connections"] += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        if faults.fire("net.accept"):
+            # Listener flap: the connection dies before a byte is read.
+            self.stats["wire_faults"] += 1
+            await self._close_writer(writer)
+            return
+        self._writers.add(writer)
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    ftype, payload = await protocol.read_frame(
+                        reader, max_frame=self.max_frame
+                    )
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # peer went away — nothing to answer
+                except protocol.ProtocolError as exc:
+                    # Malformed/oversized frame: poison THIS connection
+                    # only — best-effort typed error, then hang up.
+                    self.stats["protocol_errors"] += 1
+                    await self._send(
+                        writer, lock, T_ERROR, error_payload(None, exc)
+                    )
+                    break
+                if ftype == T_HEALTH:
+                    self.stats["health_probes"] += 1
+                    await self._send(writer, lock, T_HEALTH_OK, self._health())
+                elif ftype == T_SUBMIT:
+                    task = asyncio.ensure_future(
+                        self._handle_submit(payload, writer, lock)
+                    )
+                    self._inflight.add(task)
+                    task.add_done_callback(self._inflight.discard)
+                else:
+                    self.stats["protocol_errors"] += 1
+                    await self._send(
+                        writer,
+                        lock,
+                        T_ERROR,
+                        error_payload(
+                            None,
+                            protocol.ProtocolError(
+                                f"unexpected frame type {ftype} from a client"
+                            ),
+                        ),
+                    )
+                    break
+        finally:
+            self._writers.discard(writer)
+            await self._close_writer(writer)
+
+    def _health(self) -> dict:
+        server = self.server
+        return {
+            "accepting": server.accepting and not self._draining,
+            "draining": self._draining or not server.accepting,
+            "pending_jobs": server.pending_jobs,
+            "pending_points": server.pending_points,
+            "retry_after": server._retry_after_hint(),
+            "stats": dict(server.stats),
+            "net_stats": dict(self.stats),
+        }
+
+    async def _handle_submit(
+        self,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        self.stats["requests"] += 1
+        try:
+            msg = protocol.unpack(payload)
+            key = msg["key"]
+            problem = msg["problem"]
+            options = msg.get("options")
+            deadline = msg.get("deadline")
+        except (protocol.ProtocolError, KeyError, TypeError) as exc:
+            # Garbage inside a well-formed frame: same poison rule.
+            self.stats["protocol_errors"] += 1
+            await self._send(
+                writer,
+                lock,
+                T_ERROR,
+                error_payload(
+                    None, protocol.ProtocolError(f"malformed submit: {exc}")
+                ),
+            )
+            await self._close_writer(writer)
+            return
+
+        entry = self._journal.get(key)
+        if entry is not None:
+            # A retry of a job we have already seen: replay, never
+            # re-execute.  An in-flight duplicate awaits the SAME
+            # execution; a completed one replays the recorded response.
+            self.stats["replayed"] += 1
+            if isinstance(entry, asyncio.Future):
+                ftype, body = await entry
+            else:
+                self._journal.move_to_end(key)
+                ftype, body = entry  # type: ignore[misc]
+            await self._send(
+                writer, lock, ftype, {**body, "replayed": True}, inject=True
+            )
+            return
+
+        flight: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._journal[key] = flight
+        try:
+            report = await self.server.submit_problem(
+                problem, options, timeout=deadline
+            )
+        except (ServerBusy, ServerClosed, JobExpired, SpecificationError) as exc:
+            # Pre-execution rejection: NOT journaled — a later retry
+            # deserves a fresh admission decision.
+            response = (T_ERROR, error_payload(key, exc))
+            self._journal.pop(key, None)
+            if not flight.done():
+                flight.set_result(response)
+            await self._send(writer, lock, *response, inject=True)
+            return
+        except BaseException as exc:
+            # The job reached execution and failed there: journal the
+            # typed failure so a retry replays it instead of paying the
+            # execution again.
+            response = (T_ERROR, error_payload(key, exc))
+            self._record(key, response, flight)
+            await self._send(writer, lock, *response, inject=True)
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return
+        report.transport = "tcp"
+        arrays = {
+            name: arr.data.tobytes() for name, arr in problem.arrays.items()
+        }
+        response = (
+            T_RESULT,
+            {"key": key, "report": report, "arrays": arrays, "replayed": False},
+        )
+        self._record(key, response, flight)
+        await self._send(writer, lock, *response, inject=True)
+
+    def _record(
+        self, key: str, response: tuple, flight: asyncio.Future
+    ) -> None:
+        """Journal a completed response (bounded LRU) and wake duplicates."""
+        self._journal[key] = response
+        self._journal.move_to_end(key)
+        if not flight.done():
+            flight.set_result(response)
+        completed = [
+            k
+            for k, v in self._journal.items()
+            if not isinstance(v, asyncio.Future)
+        ]
+        overflow = len(completed) - self.journal_limit
+        for k in completed[:max(0, overflow)]:
+            del self._journal[k]
+
+    # -- writing (where the wire faults live) ------------------------------
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        ftype: int,
+        body: dict,
+        *,
+        inject: bool = False,
+    ) -> None:
+        """Serialize under the connection's write lock; apply armed
+        ``net.*`` response faults (submit responses only)."""
+        frame = protocol.encode_frame(ftype, protocol.pack(body))
+        async with lock:
+            try:
+                if inject and faults.fire("net.slow"):
+                    self.stats["wire_faults"] += 1
+                    await asyncio.sleep(SLOW_PEER_STALL)
+                if inject and faults.fire("net.drop"):
+                    # Executed, journaled — and the response vanishes.
+                    self.stats["wire_faults"] += 1
+                    writer.close()
+                    return
+                if inject and faults.fire("net.torn"):
+                    # Half a frame, then the connection dies.
+                    self.stats["wire_faults"] += 1
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    await writer.drain()
+                    writer.close()
+                    return
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                # Client gone mid-write: the response is journaled;
+                # their retry will collect it.
+                pass
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+
+
+async def serve_tcp(
+    server: StencilServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_frame: int = protocol.MAX_FRAME,
+    journal_limit: int = JOURNAL_LIMIT,
+) -> NetServer:
+    """Expose ``server`` on ``host:port`` (``port=0`` = ephemeral).
+
+    Starts the in-process server if it is not yet bound to the loop;
+    returns the listening :class:`NetServer` (its ``host``/``port``
+    report the bound address).
+    """
+    if server._loop is None:
+        await server.start()
+    net = NetServer(
+        server, host, port, max_frame=max_frame, journal_limit=journal_limit
+    )
+    return await net.start()
+
+
+class LoopbackServer:
+    """A served loopback endpoint on a background thread (sync callers).
+
+    Usage::
+
+        with LoopbackServer(ServeOptions(max_batch=16)) as loop:
+            client = StencilClient(loop.host, loop.port)
+            report = client.submit(stencil, steps, kernel)
+
+    The thread owns its own event loop, `StencilServer`, and TCP
+    front-end; ``stop()`` (or context exit) drains gracefully — every
+    accepted job finishes and is answered first.  ``server`` and
+    ``net`` expose the live objects for stats inspection (reading their
+    int counters cross-thread is safe).
+    """
+
+    def __init__(
+        self,
+        serve_options: ServeOptions | None = None,
+        *,
+        host: str = "127.0.0.1",
+        max_frame: int = protocol.MAX_FRAME,
+        journal_limit: int = JOURNAL_LIMIT,
+    ):
+        self._serve_options = serve_options
+        self._host = host
+        self._max_frame = max_frame
+        self._journal_limit = journal_limit
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-loopback-serve", daemon=True
+        )
+        self.server: StencilServer | None = None
+        self.net: NetServer | None = None
+        self.error: BaseException | None = None
+
+    def start(self) -> "LoopbackServer":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self.error is not None:
+            raise RuntimeError("loopback server failed to start") from self.error
+        if self.net is None:
+            raise RuntimeError("loopback server did not come up in time")
+        return self
+
+    @property
+    def host(self) -> str:
+        assert self.net is not None
+        return self.net.host
+
+    @property
+    def port(self) -> int:
+        assert self.net is not None
+        return self.net.port
+
+    def stop(self) -> None:
+        """Drain gracefully and join the serving thread."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout=120)
+
+    def __enter__(self) -> "LoopbackServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced in start()
+            self.error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = StencilServer(self._serve_options)
+        await self.server.start()
+        self.net = await serve_tcp(
+            self.server,
+            self._host,
+            0,
+            max_frame=self._max_frame,
+            journal_limit=self._journal_limit,
+        )
+        self._ready.set()
+        await self._stop.wait()
+        await self.net.drain()

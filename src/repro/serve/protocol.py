@@ -1,0 +1,186 @@
+"""The wire protocol of the networked serving layer (frame level).
+
+Everything that crosses a socket between :class:`repro.serve.client.
+StencilClient` and the TCP front-end (:func:`repro.serve.net.serve_tcp`)
+is a **length-prefixed frame**::
+
+    +-------+------+----------+----------------+
+    | magic | type |  length  |    payload     |
+    | 4 B   | 1 B  | 4 B (BE) | `length` bytes |
+    +-------+------+----------+----------------+
+
+``magic`` is ``b"RPS1"`` (protocol version 1); ``type`` is one of the
+``T_*`` constants below; ``length`` is the payload size in bytes.  The
+payload is a pickled Python object (both endpoints are this library —
+the transport is for *trusted* peers on a controlled network, exactly
+like the supervised-worker pipes; never expose it to untrusted input).
+
+Frame types:
+
+==============  =========================================================
+``T_SUBMIT``    client -> server: one job — ``{"key", "deadline",
+                "problem", "options"}`` where ``key`` is the client's
+                idempotency key (any string; retries of one job MUST
+                reuse it), ``deadline`` is the remaining time budget in
+                seconds at send time (``None`` = no deadline) and
+                ``problem`` is a prepared
+                :class:`~repro.language.stencil.Problem` carrying the
+                full input state.
+``T_RESULT``    server -> client: ``{"key", "report", "arrays",
+                "replayed"}`` — the job's ``RunReport``, the raw bytes
+                of every result array's modular buffer, and whether the
+                response was served from the idempotent result journal
+                instead of a fresh execution.
+``T_ERROR``     server -> client: ``{"key", "code", "message", ...}`` —
+                a typed failure; ``code`` selects the exception the
+                client raises (see :func:`repro.serve.client.
+                error_to_exception`) and extra fields ride along
+                (``retry_after``/``pending_jobs``/``pending_points``
+                for ``"busy"``).
+``T_HEALTH``    client -> server: liveness/readiness probe (empty
+                payload allowed).
+``T_HEALTH_OK`` server -> client: ``{"accepting", "draining",
+                "pending_jobs", "pending_points", "stats", ...}``.
+==============  =========================================================
+
+Robustness contract: a reader that sees a bad magic, an unknown type,
+or a length beyond its ``max_frame`` bound raises
+:class:`ProtocolError` — the server answers with a best-effort
+``T_ERROR`` frame and closes **that connection only** (a malformed
+peer poisons its own connection, never the server); the client treats
+it as a failed attempt.  A short read (torn frame, dropped connection)
+surfaces as ``asyncio.IncompleteReadError`` / :class:`ConnectionError`
+and is retryable — the idempotency key makes the retry safe.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import socket
+
+MAGIC = b"RPS1"
+
+#: Frame types (the ``type`` byte).
+T_SUBMIT = 1
+T_RESULT = 2
+T_ERROR = 3
+T_HEALTH = 4
+T_HEALTH_OK = 5
+
+FRAME_TYPES = (T_SUBMIT, T_RESULT, T_ERROR, T_HEALTH, T_HEALTH_OK)
+
+HEADER = struct.Struct("!4sBI")
+
+#: Default bound on a single frame's payload (server and client side).
+#: Generous enough for multi-hundred-MB grids, small enough that a
+#: garbage length field cannot make a reader try to buffer the moon.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame header announced a payload beyond the reader's bound."""
+
+
+class RemoteError(RuntimeError):
+    """A job failed on the server with a non-protocol error.
+
+    Carries the remote exception's type name and message; the job may
+    have executed (its response is journaled server-side), so a retry
+    with the same key replays this same error instead of re-executing.
+    """
+
+    def __init__(self, message: str, *, remote_type: str = "Exception"):
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+class DeadlineExceeded(RuntimeError):
+    """The client-side deadline expired before a response arrived.
+
+    Raised by :class:`~repro.serve.client.StencilClient` when the
+    request budget (connect + retries + backoff + response wait) is
+    exhausted.  Whether the job executed server-side is unknowable from
+    here — a later retry with the *same* idempotency key is safe and
+    resolves the ambiguity via the result journal.
+    """
+
+
+def pack(obj: object) -> bytes:
+    """Serialize one frame payload."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack(payload: bytes) -> object:
+    """Deserialize one frame payload (raises ProtocolError on garbage)."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+
+
+def encode_frame(ftype: int, payload: bytes) -> bytes:
+    """One wire-ready frame."""
+    if ftype not in FRAME_TYPES:
+        raise ValueError(f"unknown frame type {ftype}")
+    return HEADER.pack(MAGIC, ftype, len(payload)) + payload
+
+
+def parse_header(header: bytes, *, max_frame: int = MAX_FRAME) -> tuple[int, int]:
+    """Validate a 9-byte header; return ``(type, payload_length)``."""
+    magic, ftype, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if ftype not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {ftype}")
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds the {max_frame}-byte bound"
+        )
+    return ftype, length
+
+
+async def read_frame(reader, *, max_frame: int = MAX_FRAME) -> tuple[int, bytes]:
+    """Read one frame from an asyncio stream reader.
+
+    Raises ``asyncio.IncompleteReadError`` on EOF/torn input and
+    :class:`ProtocolError` (or :class:`FrameTooLarge`) on malformed
+    headers — the caller decides which of those poisons the connection.
+    """
+    header = await reader.readexactly(HEADER.size)
+    ftype, length = parse_header(header, max_frame=max_frame)
+    return ftype, await reader.readexactly(length)
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Blocking read of exactly ``n`` bytes (sync client side).
+
+    Honors the socket's timeout; raises :class:`ConnectionError` on a
+    peer that closed mid-frame (the torn-frame signature the client
+    retries on).
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, *, max_frame: int = MAX_FRAME
+) -> tuple[int, bytes]:
+    """Blocking read of one frame (sync client side)."""
+    ftype, length = parse_header(
+        recv_exact(sock, HEADER.size), max_frame=max_frame
+    )
+    return ftype, recv_exact(sock, length)

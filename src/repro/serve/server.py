@@ -26,12 +26,49 @@ class ServerBusy(RuntimeError):
     """Admission control rejected the job (queue or volume bound hit).
 
     The job was *rejected*, never silently dropped: nothing was queued,
-    no state changed, and the caller may retry after backoff.
+    no state changed, and the caller may retry after backoff.  The
+    exception carries what an intelligent caller needs to back off
+    *well* instead of blind-retrying:
+
+    ``pending_jobs`` / ``pending_points``
+        The load that triggered the rejection — jobs in the system
+        (queued + running) and their summed space-time volume.
+    ``retry_after``
+        The server's hint, in seconds, for when capacity is likely
+        back: the batch window plus one window per full batch of queued
+        work.  A hint, not a promise — the client jitters it.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending_jobs: int = 0,
+        pending_points: int = 0,
+        retry_after: float = 0.0,
+    ):
+        super().__init__(message)
+        self.pending_jobs = pending_jobs
+        self.pending_points = pending_points
+        self.retry_after = retry_after
 
 
 class ServerClosed(RuntimeError):
     """The server is draining or closed; no new jobs are admitted."""
+
+
+class JobExpired(RuntimeError):
+    """The job's deadline passed while it was still queued.
+
+    Deadline enforcement is *shedding*, not interruption: an expired
+    job is failed with this typed error **before dispatch** — it never
+    silently runs, and a job whose batch already launched runs to
+    completion.  The exception carries the ``serve:expired``
+    degradation tag in ``degradations`` (the job has no
+    :class:`RunReport` to carry it).
+    """
+
+    degradations = ("serve:expired",)
 
 
 @dataclass
@@ -97,9 +134,26 @@ class ServeOptions:
 @dataclass
 class _Job:
     problem: Problem
-    stencil: Stencil
+    #: The submitting stencil, for post-run cursor bookkeeping — or
+    #: ``None`` for remote jobs, whose client does it on receipt.
+    stencil: Stencil | None
     future: asyncio.Future
     enqueued: float
+    #: Absolute monotonic deadline (``None`` = no deadline).  Checked
+    #: at batch launch: still-queued jobs past it are shed with
+    #: :class:`JobExpired`, never silently run.
+    deadline: float | None = None
+
+
+def _options_token(options: RunOptions) -> str:
+    """A value-based batching key for run options.
+
+    Jobs batch when their effective options *mean* the same thing, not
+    when they are the same object — remote submissions unpickle a fresh
+    ``RunOptions`` per request, and those must still share a batch.
+    Dataclass ``repr`` is deterministic and covers every field.
+    """
+    return repr(options)
 
 
 class StencilServer:
@@ -127,6 +181,7 @@ class StencilServer:
             "completed": 0,
             "failed": 0,
             "rejected": 0,
+            "expired": 0,
             "batches": 0,
             "batched_jobs": 0,
             "unbatched_jobs": 0,
@@ -177,6 +232,22 @@ class StencilServer:
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
 
+    @property
+    def pending_jobs(self) -> int:
+        """Jobs in the system right now (queued + running)."""
+        return self._in_system_jobs
+
+    @property
+    def pending_points(self) -> int:
+        """Summed space-time volume of the jobs in the system."""
+        return self._in_system_points
+
+    @property
+    def accepting(self) -> bool:
+        """Readiness: whether a submission right now would be admitted
+        (modulo backpressure)."""
+        return not (self._closed or self._draining)
+
     async def drain(self) -> None:
         """Stop admitting; run every queued job; await every batch."""
         self._draining = True
@@ -191,21 +262,70 @@ class StencilServer:
         self._closed = True
 
     # -- admission ---------------------------------------------------------
+    def _retry_after_hint(self) -> float:
+        """Backoff hint for :class:`ServerBusy`, from queue depth.
+
+        Queued work drains one batch per window once the window timers
+        fire, so the estimate is the batch window plus one window per
+        full batch in the system — clamped to a floor so an idle-window
+        server still hints a non-zero pause.
+        """
+        window = max(self.options.batch_window, 0.001)
+        depth = self._in_system_jobs / max(1, self.options.max_batch)
+        return round(window * (1.0 + depth), 4)
+
+    def _reject_busy(self, message: str) -> None:
+        self.stats["rejected"] += 1
+        raise ServerBusy(
+            message,
+            pending_jobs=self._in_system_jobs,
+            pending_points=self._in_system_points,
+            retry_after=self._retry_after_hint(),
+        )
+
     async def submit(
         self,
         stencil: Stencil,
         steps: int,
         kernel: Kernel,
         options: RunOptions | None = None,
+        *,
+        timeout: float | None = None,
     ) -> RunReport:
         """Submit one job; await its report.
 
         Validation errors (bad kernel/steps) raise immediately, as
         ``stencil.run`` would.  :class:`ServerBusy` signals backpressure
         — the job was not queued.  ``options`` overrides the server's
-        base run options for this job; jobs only batch with jobs that
-        share the same effective options object semantics, so per-job
-        overrides land in their own signature groups.
+        base run options for this job; jobs batch with jobs whose
+        effective options carry the same *values*, so per-job overrides
+        land in their own signature groups.  ``timeout`` bounds the
+        queue wait: a job still queued ``timeout`` seconds after
+        submission completes exceptionally with :class:`JobExpired`
+        instead of running late (shed before dispatch, never
+        interrupted mid-run).
+        """
+        return await self.submit_problem(
+            stencil.prepare(steps, kernel),
+            options,
+            timeout=timeout,
+            stencil=stencil,
+        )
+
+    async def submit_problem(
+        self,
+        problem: Problem,
+        options: RunOptions | None = None,
+        *,
+        timeout: float | None = None,
+        stencil: Stencil | None = None,
+    ) -> RunReport:
+        """Submit an already-prepared :class:`Problem` (the remote path).
+
+        The network front-end lands here: a remote job arrives as a
+        prepared problem carrying its own arrays, so there is no local
+        stencil to advance — pass ``stencil`` only when there is one
+        whose cursor should move after the run (``submit`` does).
         """
         if self._closed or self._draining:
             raise ServerClosed("server is draining; resubmit elsewhere")
@@ -213,29 +333,33 @@ class StencilServer:
             self._loop = asyncio.get_running_loop()
         run_options = options if options is not None else self.options.run
         assert run_options is not None
-        problem = stencil.prepare(steps, kernel)
+        if timeout is not None and timeout <= 0:
+            self.stats["expired"] += 1
+            raise JobExpired(
+                f"deadline of {timeout:.3f}s expired before admission"
+            )
         if self._in_system_jobs >= self.options.max_pending:
-            self.stats["rejected"] += 1
-            raise ServerBusy(
+            self._reject_busy(
                 f"{self._in_system_jobs} jobs in system (bound "
                 f"{self.options.max_pending}); retry after backoff"
             )
         points = problem.total_points
         bound = self.options.max_pending_points
         if bound is not None and self._in_system_points + points > bound:
-            self.stats["rejected"] += 1
-            raise ServerBusy(
+            self._reject_busy(
                 f"volume bound {bound} points would be exceeded; "
                 f"retry after backoff"
             )
         from repro.compiler.batch import batch_signature
 
-        key = batch_signature(problem) + (id(run_options),)
+        key = batch_signature(problem) + (_options_token(run_options),)
+        now = time.perf_counter()
         job = _Job(
             problem=problem,
             stencil=stencil,
             future=self._loop.create_future(),
-            enqueued=time.perf_counter(),
+            enqueued=now,
+            deadline=(now + timeout) if timeout is not None else None,
         )
         self.stats["submitted"] += 1
         self._in_system_jobs += 1
@@ -244,6 +368,10 @@ class StencilServer:
         job._options = run_options  # type: ignore[attr-defined]
         group = self._pending.setdefault(key, [])
         group.append(job)
+        if timeout is not None:
+            # Fires only if the job is *still queued* then: a flushed
+            # job is out of its pending group and the timer no-ops.
+            self._loop.call_later(timeout, self._expire_queued, key, job)
         if len(group) >= self.options.max_batch:
             self._flush(key)
         elif key not in self._flush_handles:
@@ -251,6 +379,36 @@ class StencilServer:
                 self.options.batch_window, self._flush, key
             )
         return await job.future
+
+    def _release_job(self, job: _Job) -> None:
+        """Drop one job from the in-system accounting (exactly once)."""
+        self._in_system_jobs -= 1
+        self._in_system_points -= job._points  # type: ignore[attr-defined]
+
+    def _expire_job(self, job: _Job) -> None:
+        """Fail one shed job with the typed error (accounting released)."""
+        self.stats["expired"] += 1
+        self._release_job(job)
+        if not job.future.done():
+            job.future.set_exception(
+                JobExpired(
+                    f"job expired after {time.perf_counter() - job.enqueued:.3f}s "
+                    f"in queue (deadline passed before dispatch)"
+                )
+            )
+
+    def _expire_queued(self, key: tuple, job: _Job) -> None:
+        """Deadline timer: shed ``job`` if it is still in its queue."""
+        group = self._pending.get(key)
+        if group is None or job not in group:
+            return  # already flushed (or already shed) — dispatch owns it
+        group.remove(job)
+        if not group:
+            self._pending.pop(key, None)
+            handle = self._flush_handles.pop(key, None)
+            if handle is not None:
+                handle.cancel()
+        self._expire_job(job)
 
     # -- dispatch ----------------------------------------------------------
     def _flush(self, key: tuple) -> None:
@@ -289,6 +447,18 @@ class StencilServer:
         from repro.trap.driver import execute_batch
 
         started = time.perf_counter()
+        # Deadline shedding happens HERE, at the last instant before
+        # dispatch: an expired job is failed with the typed error and
+        # never runs; everything past this point runs to completion.
+        live: list[_Job] = []
+        for job in jobs:
+            if job.deadline is not None and started >= job.deadline:
+                self._expire_job(job)
+            else:
+                live.append(job)
+        jobs = live
+        if not jobs:
+            return
         options: RunOptions = jobs[0]._options  # type: ignore[attr-defined]
         batch, mode, tag = self._plan(options)
         run_options = (
@@ -334,8 +504,7 @@ class StencilServer:
                 raise
         finally:
             for job in jobs:
-                self._in_system_jobs -= 1
-                self._in_system_points -= job._points  # type: ignore[attr-defined]
+                self._release_job(job)
 
     def _run_sequential(
         self, jobs: list[_Job], options: RunOptions
@@ -350,10 +519,15 @@ class StencilServer:
 
     @staticmethod
     def _finish_job(job: _Job) -> None:
-        """The bookkeeping ``Stencil.run`` does after a direct run."""
+        """The bookkeeping ``Stencil.run`` does after a direct run.
+
+        Remote jobs have no local stencil (``stencil is None``): their
+        client performs the same bookkeeping when the result lands.
+        """
         for arr in job.problem.arrays.values():
             arr.note_written_through(job.problem.t_end - 1)
-        job.stencil.advance_cursor(job.problem)
+        if job.stencil is not None:
+            job.stencil.advance_cursor(job.problem)
 
     async def _ensure_compiled(
         self, key: tuple, template: Problem, mode: str

@@ -13,7 +13,8 @@ import os
 import signal
 import subprocess
 import sys
-import time
+
+import pytest
 
 _SERVER = """
 import asyncio, os, signal, sys
@@ -53,18 +54,22 @@ asyncio.run(main())
 """
 
 
-def test_sigterm_drains_accepted_jobs():
+def _spawn(script):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (env.get("PYTHONPATH", ""), "src") if p
     )
-    proc = subprocess.Popen(
-        [sys.executable, "-c", _SERVER],
+    return subprocess.Popen(
+        [sys.executable, "-c", script],
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
     )
+
+
+def test_sigterm_drains_accepted_jobs():
+    proc = _spawn(_SERVER)
     try:
         line = proc.stdout.readline().strip()
         assert line == "READY", line
@@ -75,3 +80,91 @@ def test_sigterm_drains_accepted_jobs():
         raise
     assert proc.returncode == 0, err
     assert "DRAINED 6" in out, (out, err)
+
+
+# -- the networked variant: SIGTERM with live connected clients -----------
+
+_NET_SERVER = """
+import asyncio, sys
+sys.path.insert(0, "src")
+from repro.serve import ServeOptions, StencilServer, serve_tcp
+
+K = 4
+
+async def main():
+    # A wide window keeps remote jobs queued (not yet flushed) when the
+    # signal lands, so the drain must flush, run, and ANSWER them.
+    srv = StencilServer(ServeOptions(max_batch=64, batch_window=5.0))
+    await srv.start()
+    net = await serve_tcp(srv, "127.0.0.1", 0)
+    net.install_signal_handlers()
+    print("PORT", net.port, flush=True)
+    while srv.stats["submitted"] < K:
+        await asyncio.sleep(0.01)
+    print("QUEUED", flush=True)     # parent sends SIGTERM now
+    await net.serve_forever()       # released when the drain completes
+    print("DRAINED", srv.stats["completed"], flush=True)
+
+asyncio.run(main())
+"""
+
+
+def test_sigterm_drains_networked_clients():
+    import threading
+
+    import numpy as np
+
+    from repro.apps.heat import build_heat
+    from repro.serve import StencilClient
+
+    K = 4
+    proc = _spawn(_NET_SERVER)
+    apps = [build_heat((20, 20), 10, seed=s) for s in range(K)]
+    outcome = {}
+
+    def call(port):
+        try:
+            with StencilClient(
+                "127.0.0.1", port, request_timeout=90.0
+            ) as client:
+                outcome["reports"] = client.submit_many(
+                    [(a.stencil, a.steps, a.kernel) for a in apps]
+                )
+        except BaseException as exc:  # surfaced in the main thread
+            outcome["error"] = exc
+
+    try:
+        line = proc.stdout.readline().split()
+        assert line[:1] == ["PORT"], line
+        port = int(line[1])
+        caller = threading.Thread(target=call, args=(port,))
+        caller.start()
+        line = proc.stdout.readline().strip()
+        assert line == "QUEUED", line
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        caller.join(timeout=120)
+        assert not caller.is_alive(), "client never got its answers"
+    except Exception:
+        proc.kill()
+        raise
+    # The server finished and ANSWERED every accepted remote job before
+    # closing, then exited cleanly.
+    assert proc.returncode == 0, err
+    assert f"DRAINED {K}" in out, (out, err)
+    if "error" in outcome:
+        raise outcome["error"]
+    reports = outcome["reports"]
+    assert len(reports) == K
+    refs = [build_heat((20, 20), 10, seed=s) for s in range(K)]
+    for r in refs:
+        r.run()
+    for app, ref in zip(apps, refs):
+        assert np.array_equal(app.result(), ref.result())
+    for rep in reports:
+        assert rep.transport == "tcp"
+    # The listener is gone with the process.
+    import socket
+
+    with pytest.raises(OSError):
+        socket.create_connection(("127.0.0.1", port), timeout=2).close()

@@ -21,7 +21,13 @@ from repro import RunOptions, SpecificationError
 from repro.apps.heat import build_heat
 from repro.apps.life import build_life
 from repro.apps.psa import build_psa
-from repro.serve import ServeOptions, ServerBusy, ServerClosed, StencilServer
+from repro.serve import (
+    JobExpired,
+    ServeOptions,
+    ServerBusy,
+    ServerClosed,
+    StencilServer,
+)
 from repro.trap.driver import execute_batch
 from tests.conftest import has_c_backend
 
@@ -227,6 +233,95 @@ def test_closed_server_rejects_submissions():
             await srv.submit(app.stencil, app.steps, app.kernel)
 
     asyncio.run(main())
+
+
+def test_submit_timeout_sheds_queued_job_typed():
+    app = build_heat((16, 16), 4, seed=0)
+
+    async def main():
+        # The window is wider than the job's budget: the deadline timer
+        # sheds it while queued, before any dispatch.
+        opts = ServeOptions(max_batch=8, batch_window=0.25)
+        async with StencilServer(opts) as srv:
+            with pytest.raises(JobExpired) as excinfo:
+                await srv.submit(
+                    app.stencil, app.steps, app.kernel, timeout=0.05
+                )
+            assert "serve:expired" in excinfo.value.degradations
+            assert srv.stats["expired"] == 1
+            assert srv.pending_jobs == 0  # accounting released
+            # Capacity freed by the shed job serves the next one.
+            rep = await srv.submit(app.stencil, app.steps, app.kernel)
+        return srv, rep
+
+    srv, rep = asyncio.run(main())
+    assert srv.stats["completed"] == 1
+    assert rep.batch_size == 1
+
+
+def test_nonpositive_timeout_expires_at_admission():
+    app = build_heat((16, 16), 4, seed=0)
+
+    async def main():
+        async with StencilServer() as srv:
+            with pytest.raises(JobExpired):
+                await srv.submit(
+                    app.stencil, app.steps, app.kernel, timeout=0.0
+                )
+            assert srv.stats["expired"] == 1
+            assert srv.stats["submitted"] == 0  # never queued
+        return srv
+
+    srv = asyncio.run(main())
+    assert srv.stats["completed"] == 0
+
+
+def test_server_busy_carries_backpressure_fields():
+    apps = [build_heat((16, 16), 4, seed=s) for s in range(2)]
+
+    async def main():
+        opts = ServeOptions(max_batch=8, batch_window=0.1, max_pending=1)
+        async with StencilServer(opts) as srv:
+            first = asyncio.ensure_future(
+                srv.submit(apps[0].stencil, apps[0].steps, apps[0].kernel)
+            )
+            await asyncio.sleep(0)  # the first job reaches its queue
+            with pytest.raises(ServerBusy) as excinfo:
+                await srv.submit(apps[1].stencil, apps[1].steps, apps[1].kernel)
+            busy = excinfo.value
+            assert busy.pending_jobs == 1
+            assert busy.pending_points > 0
+            assert busy.retry_after > 0.0
+            await first
+
+    asyncio.run(main())
+
+
+def test_equal_valued_options_batch_together():
+    # Distinct RunOptions objects with equal values must share a batch —
+    # this is what lets remote jobs (each unpickling its own options
+    # object) reach one batched dispatch.
+    apps = [build_heat((16, 16), 4, seed=s) for s in range(2)]
+
+    async def main():
+        opts = ServeOptions(max_batch=8, batch_window=0.1)
+        async with StencilServer(opts) as srv:
+            reports = await asyncio.gather(
+                *(
+                    srv.submit(
+                        a.stencil,
+                        a.steps,
+                        a.kernel,
+                        RunOptions(mode=BATCH_MODES[0]),
+                    )
+                    for a in apps
+                )
+            )
+        return srv, reports
+
+    srv, reports = asyncio.run(main())
+    assert srv.stats["batches"] == 1
+    assert [r.batch_size for r in reports] == [2, 2]
 
 
 def test_supervised_jobs_run_unbatched():
